@@ -1,0 +1,50 @@
+// Package cellfi's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper. Each benchmark runs the corresponding
+// experiment in quick mode, so `go test -bench=. -benchmem` regenerates
+// a reduced version of the entire evaluation; `go run ./cmd/experiments`
+// produces the full-scale numbers recorded in EXPERIMENTS.md.
+package cellfi_test
+
+import (
+	"testing"
+
+	"cellfi/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration and
+// fails the benchmark if the experiment degenerates.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := run(int64(i)+1, true)
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1Properties(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkFigure1DriveTest(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFigure2WiFiMAC(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFigure6Database(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFigure7Interference(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8CQIDetector(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkPRACHDetector(b *testing.B)        { benchExperiment(b, "prach") }
+func BenchmarkFigure9aCoverage(b *testing.B)     { benchExperiment(b, "fig9a") }
+func BenchmarkFigure9bThroughput(b *testing.B)   { benchExperiment(b, "fig9b") }
+func BenchmarkFigure9cPageLoads(b *testing.B)    { benchExperiment(b, "fig9c") }
+func BenchmarkTheorem1Convergence(b *testing.B)  { benchExperiment(b, "theorem1") }
+func BenchmarkChannelReuseAblation(b *testing.B) { benchExperiment(b, "reuse") }
+func BenchmarkLambdaAblation(b *testing.B)       { benchExperiment(b, "lambda") }
+func BenchmarkSensingAblation(b *testing.B)      { benchExperiment(b, "sensing") }
+
+func BenchmarkHoppingBaseline(b *testing.B)      { benchExperiment(b, "hopping") }
+func BenchmarkHybridExtension(b *testing.B)      { benchExperiment(b, "hybrid") }
+func BenchmarkSchedulerAblation(b *testing.B)    { benchExperiment(b, "sched") }
+func BenchmarkUplinkExtension(b *testing.B)      { benchExperiment(b, "uplink") }
+func BenchmarkAggregationExtension(b *testing.B) { benchExperiment(b, "aggregation") }
+func BenchmarkMobilityExtension(b *testing.B)    { benchExperiment(b, "mobility") }

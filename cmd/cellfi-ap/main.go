@@ -1,0 +1,83 @@
+// Command cellfi-ap runs a CellFi access point's control plane against
+// a PAWS database: it registers, acquires a TV channel, polls for
+// availability, vacates within the regulatory deadline when the channel
+// is withdrawn, and reports spectrum use — the live version of the
+// Figure 6 experiment.
+//
+// Usage:
+//
+//	cellfi-ap [-db http://localhost:8080/paws] [-serial AP-0001]
+//	          [-x 0 -y 0] [-height 15] [-poll 1s] [-duration 0]
+//
+// With -duration 0 it runs until interrupted.
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"cellfi/internal/core"
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/paws"
+)
+
+func main() {
+	db := flag.String("db", "http://localhost:8080/paws", "PAWS database endpoint")
+	serial := flag.String("serial", "AP-0001", "device serial number")
+	x := flag.Float64("x", 0, "AP x position (m east of the grid origin)")
+	y := flag.Float64("y", 0, "AP y position (m north of the grid origin)")
+	height := flag.Float64("height", 15, "antenna height (m)")
+	poll := flag.Duration("poll", time.Second, "database polling interval")
+	duration := flag.Duration("duration", 0, "how long to run (0 = forever)")
+	flag.Parse()
+
+	pos := geo.Point{X: *x, Y: *y}
+	client := paws.NewClient(*db, *serial)
+
+	if _, err := client.Init(pos); err != nil {
+		log.Fatalf("cellfi-ap: INIT failed: %v", err)
+	}
+	if _, err := client.Register(pos, "cellfi"); err != nil {
+		log.Fatalf("cellfi-ap: registration failed: %v", err)
+	}
+	log.Printf("registered %s with %s", *serial, *db)
+
+	sel := core.NewChannelSelector(client, pos, *height)
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	for {
+		act, err := sel.Refresh(time.Now())
+		if err != nil {
+			log.Printf("refresh error: %v", err)
+		}
+		switch act {
+		case core.Acquired, core.Switched:
+			l := sel.Current()
+			log.Printf("%s: channel %d, EARFCN %d, EIRP cap %.0f dBm, lease until %s",
+				act, l.Channel, l.EARFCN, l.MaxEIRPdBm, l.Until.Format(time.RFC3339))
+			if sib, err := lte.SIB1ForLease(1, l.CenterFreqHz, l.MaxEIRPdBm, lte.BW5MHz); err == nil {
+				if raw, err := sib.Marshal(); err == nil {
+					log.Printf("broadcasting SIB1 % x (UL EARFCN %d, client cap %d dBm)",
+						raw, sib.UplinkEARFCN, sib.MaxTxPowerDBm)
+				}
+			}
+			if err := client.NotifyUse(pos, []paws.FrequencyRange{{
+				Channel: l.Channel,
+				StartHz: l.CenterFreqHz - 4e6, StopHz: l.CenterFreqHz + 4e6,
+				MaxEIRPdBm: l.MaxEIRPdBm,
+			}}); err != nil {
+				log.Printf("spectrum-use notify failed: %v", err)
+			}
+		case core.Vacated:
+			log.Printf("VACATED: no channel available; radio off (ETSI budget %v)", core.VacateDeadline)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(*poll)
+	}
+}

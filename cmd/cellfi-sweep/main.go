@@ -1,0 +1,118 @@
+// Command cellfi-sweep runs a grid of large-scale scenarios and emits
+// one CSV row per configuration — the bulk-experiment companion to
+// cellfi-sim, for plotting coverage/throughput surfaces.
+//
+// Usage:
+//
+//	cellfi-sweep [-schemes cellfi,lte,oracle] [-aps 6,8,10,12,14]
+//	             [-clients 6] [-trials 3] [-epochs 20] [-seed 1]
+//	             [-bw 5] [-starve 0.05]
+//
+// Output columns: scheme, aps, clients_per_ap, trial, median_mbps,
+// mean_mbps, p10_mbps, p90_mbps, starved_frac, total_mbps, hops.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"cellfi/internal/lte"
+	"cellfi/internal/netsim"
+	"cellfi/internal/stats"
+	"cellfi/internal/topo"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSchemes(s string) ([]netsim.Scheme, error) {
+	var out []netsim.Scheme
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "cellfi":
+			out = append(out, netsim.SchemeCellFi)
+		case "lte":
+			out = append(out, netsim.SchemeLTE)
+		case "oracle":
+			out = append(out, netsim.SchemeOracle)
+		case "random-hop":
+			out = append(out, netsim.SchemeRandomHop)
+		case "hybrid":
+			out = append(out, netsim.SchemeHybrid)
+		default:
+			return nil, fmt.Errorf("unknown scheme %q", f)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	schemesFlag := flag.String("schemes", "cellfi,lte,oracle", "comma-separated schemes")
+	apsFlag := flag.String("aps", "6,8,10,12,14", "comma-separated AP counts")
+	clientsFlag := flag.String("clients", "6", "comma-separated clients per AP")
+	trials := flag.Int("trials", 3, "independent topologies per configuration")
+	epochs := flag.Int("epochs", 20, "IM epochs per run")
+	seed := flag.Int64("seed", 1, "base seed")
+	bwFlag := flag.Int("bw", 5, "carrier bandwidth in MHz (5, 10, 15, 20)")
+	starve := flag.Float64("starve", 0.05, "starvation threshold in Mbps")
+	flag.Parse()
+
+	schemes, err := parseSchemes(*schemesFlag)
+	if err != nil {
+		log.Fatalf("cellfi-sweep: %v", err)
+	}
+	apsList, err := parseInts(*apsFlag)
+	if err != nil {
+		log.Fatalf("cellfi-sweep: bad -aps: %v", err)
+	}
+	clientsList, err := parseInts(*clientsFlag)
+	if err != nil {
+		log.Fatalf("cellfi-sweep: bad -clients: %v", err)
+	}
+	var bw lte.Bandwidth
+	switch *bwFlag {
+	case 5, 10, 15, 20:
+		bw = lte.Bandwidth(*bwFlag)
+	default:
+		log.Fatalf("cellfi-sweep: bandwidth must be 5, 10, 15 or 20 MHz")
+	}
+
+	w := os.Stdout
+	fmt.Fprintln(w, "scheme,aps,clients_per_ap,trial,median_mbps,mean_mbps,p10_mbps,p90_mbps,starved_frac,total_mbps,hops")
+	for _, aps := range apsList {
+		for _, clients := range clientsList {
+			for tr := 0; tr < *trials; tr++ {
+				trialSeed := *seed + int64(tr)*7919 + int64(aps)*131 + int64(clients)*17
+				tp := topo.Generate(topo.Paper(aps, clients), trialSeed)
+				for _, s := range schemes {
+					cfg := netsim.DefaultConfig(s, trialSeed)
+					cfg.BW = bw
+					n := netsim.New(tp, cfg)
+					th := n.Run(*epochs)
+					c := stats.NewCDF(th)
+					var total float64
+					for _, v := range th {
+						total += v
+					}
+					fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%d\n",
+						s, aps, clients, tr,
+						c.Median(), c.Mean(), c.Quantile(0.1), c.Quantile(0.9),
+						c.FractionBelow(*starve), total, n.Hops)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-id fig9b] [-seed 1] [-quick] [-series] [-list]
+//
+// Without -id it runs every experiment in presentation order. -quick
+// trades trial counts for speed; -series additionally dumps the raw
+// (x, y) series behind each figure for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cellfi/internal/experiments"
+	"cellfi/internal/stats"
+)
+
+func main() {
+	id := flag.String("id", "", "experiment ID to run (default: all)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	quick := flag.Bool("quick", false, "reduced trials for a fast pass")
+	series := flag.Bool("series", false, "print raw series points for plotting")
+	plot := flag.Bool("plot", false, "render each figure's series as terminal plots")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, eid := range experiments.IDs() {
+			fmt.Println(eid)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *id != "" {
+		if _, ok := experiments.Get(*id); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *id)
+			os.Exit(2)
+		}
+		ids = []string{*id}
+	}
+
+	for _, eid := range ids {
+		run, _ := experiments.Get(eid)
+		res := run(*seed, *quick)
+		fmt.Printf("==== %s ====\n\n", res.Title)
+		for _, tb := range res.Tables {
+			fmt.Println(tb.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  * %s\n", n)
+		}
+		if *plot && len(res.Series) > 0 {
+			// CDP-style figures overlay naturally; cap at 4 series
+			// per plot to keep glyphs readable.
+			for start := 0; start < len(res.Series); start += 4 {
+				end := start + 4
+				if end > len(res.Series) {
+					end = len(res.Series)
+				}
+				fmt.Println(stats.Plot(res.Series[start:end], stats.DefaultPlotOptions()))
+			}
+		}
+		if *series {
+			for _, sr := range res.Series {
+				fmt.Printf("\n# %s\n", sr.Name)
+				for _, p := range sr.Points {
+					fmt.Printf("%g\t%g\n", p[0], p[1])
+				}
+			}
+		}
+		fmt.Println(strings.Repeat("-", 64))
+	}
+}

@@ -1,0 +1,91 @@
+// Command pawsdb runs a PAWS (RFC 7545-style) TV-white-space spectrum
+// database server over HTTP.
+//
+// Usage:
+//
+//	pawsdb [-addr :8080] [-domain EU|US] [-block ch[,ch...]] [-mic ch:minutes]
+//
+// -block registers permanent TV-station incumbents on the listed
+// channels; -mic registers a wireless-microphone event on a channel
+// for the given number of minutes starting now (it can repeat).
+// The server logs spectrum-use notifications it receives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/paws"
+	"cellfi/internal/spectrum"
+)
+
+type micFlags []string
+
+func (m *micFlags) String() string     { return strings.Join(*m, ",") }
+func (m *micFlags) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	domain := flag.String("domain", "EU", "regulatory domain: EU or US")
+	block := flag.String("block", "", "comma-separated channels with permanent TV incumbents")
+	var mics micFlags
+	flag.Var(&mics, "mic", "wireless-mic event as ch:minutes (repeatable)")
+	flag.Parse()
+
+	dom := spectrum.EU
+	if strings.EqualFold(*domain, "US") {
+		dom = spectrum.US
+	}
+	reg := spectrum.NewRegistry(dom)
+	origin := geo.Point{}
+
+	if *block != "" {
+		for _, f := range strings.Split(*block, ",") {
+			ch, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("pawsdb: bad -block entry %q: %v", f, err)
+			}
+			if err := reg.AddIncumbent(spectrum.Incumbent{
+				Kind: spectrum.TVStation, Channel: ch,
+				Location: origin, ProtectRadius: 1e7, From: time.Now(),
+			}); err != nil {
+				log.Fatalf("pawsdb: %v", err)
+			}
+			log.Printf("blocked channel %d (TV station)", ch)
+		}
+	}
+	for _, m := range mics {
+		parts := strings.SplitN(m, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("pawsdb: bad -mic %q, want ch:minutes", m)
+		}
+		ch, err1 := strconv.Atoi(parts[0])
+		mins, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			log.Fatalf("pawsdb: bad -mic %q", m)
+		}
+		if err := reg.AddIncumbent(spectrum.Incumbent{
+			Kind: spectrum.WirelessMic, Channel: ch,
+			Location: origin, ProtectRadius: 1e7,
+			From: time.Now(), To: time.Now().Add(time.Duration(mins) * time.Minute),
+		}); err != nil {
+			log.Fatalf("pawsdb: %v", err)
+		}
+		log.Printf("wireless mic on channel %d for %d minutes", ch, mins)
+	}
+
+	srv := paws.NewServer(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/paws", srv)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("PAWS %s database listening on %s (endpoint /paws)", dom, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,66 @@
+// Attach storm: the tail of the Figure 6 outage, at protocol level.
+// A CellFi cell returns after vacating its channel for a
+// wireless-microphone event. Thirty idle clients must first *find* the
+// carrier again (multi-band cell search — the 56 seconds the paper
+// measured) and then fight through contention-based random access
+// (PRACH Msg1-4, with preamble collisions and backoff) to reconnect.
+//
+// The example also shows the paper's proposed optimization: a client
+// provisioned to scan only TVWS-overlapping bands reconnects an order
+// of magnitude faster.
+//
+//	go run ./examples/attach-storm
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cellfi/internal/lte"
+	"cellfi/internal/sim"
+)
+
+func main() {
+	// 1. Cell search: how long until each kind of client even sees
+	// the carrier again (474 MHz, TV channel 21).
+	full := lte.NewCellSearcher()
+	tvws := lte.NewCellSearcher().RestrictToTVWS()
+	fullScan := full.FullScanTime() // worst case: carrier found last
+	tvwsScan := tvws.FullScanTime()
+	fmt.Println("cell search after the outage (worst case: carrier found last):")
+	fmt.Printf("  stock multi-band client: %8s  (%d raster hypotheses — the paper's 56 s)\n",
+		fullScan.Round(time.Second), full.TotalCandidates())
+	fmt.Printf("  TVWS-only client:        %8s  (%d hypotheses) — the paper's proposed fix\n",
+		tvwsScan.Round(time.Second), tvws.TotalCandidates())
+
+	// 2. Random access: all 30 clients finish their scans around the
+	// same moment and storm the PRACH.
+	eng := sim.NewEngine(42)
+	rrc := lte.NewRRCSim(eng)
+	const clients = 30
+	var done int
+	var worst sim.Time
+	totalAttempts := 0
+	rrc.OnConnected = func(a lte.AttachResult) {
+		done++
+		totalAttempts += a.Attempts
+		if a.Took > worst {
+			worst = a.Took
+		}
+	}
+	for c := 0; c < clients; c++ {
+		rrc.Connect(c)
+	}
+	eng.Run(10 * time.Second)
+
+	fmt.Printf("\nrandom access storm (%d clients, 54 contention preambles):\n", clients)
+	fmt.Printf("  reconnected: %d/%d\n", done, clients)
+	fmt.Printf("  mean attempts: %.1f (collisions resolved by backoff)\n",
+		float64(totalAttempts)/float64(done))
+	fmt.Printf("  slowest client: %s after the carrier reappeared\n", worst)
+	fmt.Println("\nend-to-end, a stock client is back on the network about")
+	fmt.Printf("%s after the channel returns; random access adds only %s.\n",
+		(fullScan + worst).Round(time.Second), worst)
+	fmt.Println("The 56 s the paper measured is almost entirely cell search,")
+	fmt.Println("which is why disabling unused bands is its first suggestion.")
+}

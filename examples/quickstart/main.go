@@ -1,0 +1,42 @@
+// Quickstart: build a small CellFi deployment, run the distributed
+// interference management for half a minute of virtual time, and print
+// what each cell reserved and what each client got.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cellfi/internal/netsim"
+	"cellfi/internal/topo"
+)
+
+func main() {
+	// Three access points in a 1 km square, four clients each —
+	// close enough that they must share the 5 MHz TV channel.
+	params := topo.Paper(3, 4)
+	params.AreaSide = 1000
+	topology := topo.Generate(params, 42)
+
+	cfg := netsim.DefaultConfig(netsim.SchemeCellFi, 42)
+	network := netsim.New(topology, cfg)
+
+	// Saturate every downlink queue and let the controllers run 30
+	// one-second interference-management epochs.
+	throughputs := network.Run(30)
+
+	fmt.Println("CellFi quickstart: 3 cells x 4 clients on one 5 MHz TV channel")
+	fmt.Println()
+	for cell := range topology.APs {
+		fmt.Printf("cell %d reserved subchannels %v\n", cell, network.Allowed(cell))
+		for _, ci := range network.ClientsOf[cell] {
+			c := network.Clients[ci]
+			fmt.Printf("   client %2d at %-18s  %.2f Mbps\n",
+				ci, c.Pos, throughputs[ci])
+		}
+	}
+	fmt.Printf("\ncontroller hops during convergence: %d\n", network.Hops)
+	fmt.Println("note how the reserved sets are disjoint wherever cells overlap:")
+	fmt.Println("no X2, no central controller — only PRACH overhearing and CQI reports.")
+}

@@ -1,0 +1,85 @@
+// Rural broadband: the deployment that motivated the paper — one
+// CellFi access point on a rooftop serving under-served households up
+// to a kilometre away, with no outdoor equipment at the homes. The
+// example reproduces the Section 2 requirements: >= 1 km coverage and
+// >= 1 Mbps per user, and shows why 802.11af cannot serve the same
+// homes (its PHY decode floor sits ~9 dB higher).
+//
+//	go run ./examples/rural-broadband
+package main
+
+import (
+	"fmt"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/phy"
+	"cellfi/internal/propagation"
+)
+
+func main() {
+	env := lte.NewEnvironment(7)
+	ap := &lte.Cell{
+		ID:         1,
+		Pos:        geo.Point{X: 0, Y: 0},
+		TxPowerDBm: 30,
+		Antenna:    propagation.Sector(0), // 36 dBm EIRP, as deployed
+		BW:         lte.BW5MHz,
+		TDD:        lte.TDDConfig4,
+		Activity:   lte.FullBuffer,
+	}
+
+	// Ten households along the sector at growing distances.
+	fmt.Println("rooftop CellFi cell, 36 dBm EIRP, 5 MHz TDD carrier in a TV channel")
+	fmt.Println()
+	fmt.Printf("%-10s %-10s %-8s %-12s %-12s %s\n",
+		"household", "distance", "SNR", "LTE rate", "802.11af", "HARQ use")
+	served := 0
+	for i := 1; i <= 10; i++ {
+		d := float64(i) * 130 // out to 1.3 km
+		home := &lte.Client{ID: 100 + i, Pos: geo.Point{X: d, Y: 0}, TxPowerDBm: 20}
+
+		// Average the fluid rate over a second of fading.
+		var rate float64
+		var harq float64
+		for b := int64(0); b < 10; b++ {
+			var cellBits float64
+			for k := 0; k < lte.BW5MHz.Subchannels(); k++ {
+				sinr := env.DownlinkSINR(ap, nil, home, k, b*100)
+				cqi := phy.LTECQIFromSINR(sinr)
+				cellBits += lte.SubchannelRateBps(lte.BW5MHz, lte.TDDConfig4, k, cqi)
+				if cqi > 0 {
+					harq += phy.BLER(sinr, phy.LTECQI(cqi))
+				}
+			}
+			rate += cellBits / 10
+		}
+		harq /= 10 * float64(lte.BW5MHz.Subchannels())
+		snr := env.SNRAtDistance(ap, d)
+		// 802.11af viability needs BOTH directions: the downlink and
+		// the home's 20 dBm uplink spread across the whole 6 MHz
+		// channel (no OFDMA narrow allocation to fall back on).
+		wifiUplinkSNR := 20 + 6 - env.Model.PathLossDB(d) - propagation.NoiseDBm(6e6, 7)
+		_, wifiDL := phy.WiFiMCSFromSINR(snr)
+		_, wifiUL := phy.WiFiMCSFromSINR(wifiUplinkSNR)
+		wifi := "no uplink"
+		switch {
+		case wifiDL && wifiUL:
+			wifi = "reachable"
+		case !wifiDL:
+			wifi = "no signal"
+		}
+		status := ""
+		if rate >= 1e6 {
+			served++
+		} else {
+			status = "  (below 1 Mbps)"
+		}
+		fmt.Printf("%-10d %-10s %-8s %-12s %-12s %.0f%%%s\n",
+			i, fmt.Sprintf("%.0f m", d), fmt.Sprintf("%.1f dB", snr),
+			fmt.Sprintf("%.2f Mbps", rate/1e6), wifi, harq*100, status)
+	}
+	fmt.Printf("\n%d of 10 households get the 1 Mbps universal-broadband rate.\n", served)
+	fmt.Println("The far homes ride CQI 1-6 (coding rates Wi-Fi does not offer) and")
+	fmt.Println("lean on HARQ retransmissions — exactly the Figure 1 behaviour.")
+}

@@ -1,0 +1,3 @@
+module cellfi
+
+go 1.22

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/paws"
+	"cellfi/internal/spectrum"
+)
+
+var t0 = time.Date(2017, 12, 12, 9, 0, 0, 0, time.UTC)
+
+type selFixture struct {
+	srv *paws.Server
+	sel *ChannelSelector
+	now time.Time
+}
+
+func newSelFixture(t *testing.T) *selFixture {
+	t.Helper()
+	reg := spectrum.NewRegistry(spectrum.EU)
+	srv := paws.NewServer(reg)
+	f := &selFixture{srv: srv, now: t0}
+	srv.Now = func() time.Time { return f.now }
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	client := paws.NewClient(hs.URL, "AP-0001")
+	f.sel = NewChannelSelector(client, geo.Point{X: 100, Y: 100}, 15)
+	return f
+}
+
+func (f *selFixture) block(t *testing.T, ch int, dur time.Duration) {
+	t.Helper()
+	f.srv.Lock()
+	defer f.srv.Unlock()
+	inc := spectrum.Incumbent{
+		Kind: spectrum.WirelessMic, Channel: ch,
+		Location: geo.Point{X: 100, Y: 100}, ProtectRadius: 3000, From: f.now,
+	}
+	if dur > 0 {
+		inc.To = f.now.Add(dur)
+	}
+	if err := f.srv.Registry().AddIncumbent(inc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorAcquires(t *testing.T) {
+	f := newSelFixture(t)
+	act, err := f.sel.Refresh(f.now)
+	if err != nil || act != Acquired {
+		t.Fatalf("first refresh: %v, %v", act, err)
+	}
+	l := f.sel.Current()
+	if l == nil {
+		t.Fatal("no lease after acquisition")
+	}
+	if l.Channel != 21 {
+		t.Fatalf("picked channel %d, want lowest idle 21", l.Channel)
+	}
+	if l.EARFCN != lte.EARFCNFromFreq(l.CenterFreqHz) {
+		t.Fatal("EARFCN inconsistent with centre frequency")
+	}
+	if l.MaxEIRPdBm != 36 {
+		t.Fatalf("EIRP cap %g, want 36", l.MaxEIRPdBm)
+	}
+	// Stable on re-poll.
+	if act, _ := f.sel.Refresh(f.now.Add(time.Second)); act != NoChange {
+		t.Fatalf("idle re-poll returned %v", act)
+	}
+}
+
+func TestSelectorVacatesAndSwitches(t *testing.T) {
+	f := newSelFixture(t)
+	if _, err := f.sel.Refresh(f.now); err != nil {
+		t.Fatal(err)
+	}
+	ch := f.sel.Current().Channel
+	// Withdraw the channel: selector must switch to another.
+	f.block(t, ch, 5*time.Minute)
+	f.now = f.now.Add(time.Second)
+	act, err := f.sel.Refresh(f.now)
+	if err != nil || act != Switched {
+		t.Fatalf("after withdrawal: %v, %v", act, err)
+	}
+	if got := f.sel.Current().Channel; got == ch {
+		t.Fatalf("still on withdrawn channel %d", got)
+	}
+}
+
+func TestSelectorVacatesWhenNothingLeft(t *testing.T) {
+	f := newSelFixture(t)
+	if _, err := f.sel.Refresh(f.now); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range spectrum.EU.Channels() {
+		f.block(t, ch, 0)
+	}
+	f.now = f.now.Add(time.Second)
+	act, err := f.sel.Refresh(f.now)
+	if act != Vacated {
+		t.Fatalf("expected Vacated, got %v (%v)", act, err)
+	}
+	if f.sel.Current() != nil {
+		t.Fatal("lease survived total withdrawal")
+	}
+}
+
+func TestSelectorNetworkListenPreference(t *testing.T) {
+	f := newSelFixture(t)
+	// Low channels occupied by another technology, mid by CellFi,
+	// only channel 40 idle: selector must pick 40.
+	f.sel.Listen = func(ch int) Occupancy {
+		switch {
+		case ch < 30:
+			return OtherTechOccupied
+		case ch == 40:
+			return Idle
+		default:
+			return CellFiOccupied
+		}
+	}
+	if _, err := f.sel.Refresh(f.now); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.sel.Current().Channel; got != 40 {
+		t.Fatalf("picked %d, want the idle 40", got)
+	}
+	// No idle channels: prefer CellFi-occupied over other tech.
+	f2 := newSelFixture(t)
+	f2.sel.Listen = func(ch int) Occupancy {
+		if ch < 30 {
+			return OtherTechOccupied
+		}
+		return CellFiOccupied
+	}
+	if _, err := f2.sel.Refresh(f2.now); err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.sel.Current().Channel; got != 30 {
+		t.Fatalf("picked %d, want lowest CellFi-occupied 30", got)
+	}
+}
+
+func TestSelectorWideCarrierNeedsContiguousRun(t *testing.T) {
+	f := newSelFixture(t)
+	f.sel.Bandwidth = lte.BW20MHz // needs ceil(20/8)=3 contiguous EU channels
+	// Block channels so only 50,51,52 form a wide-enough run; leave
+	// isolated singles elsewhere.
+	for _, ch := range spectrum.EU.Channels() {
+		switch ch {
+		case 25, 50, 51, 52:
+			continue
+		default:
+			f.block(t, ch, 0)
+		}
+	}
+	if _, err := f.sel.Refresh(f.now); err != nil {
+		t.Fatal(err)
+	}
+	l := f.sel.Current()
+	if l == nil || l.Channel != 50 {
+		t.Fatalf("20 MHz carrier got %+v, want run starting at 50", l)
+	}
+	// Carrier centre covers the 3-channel run, not just channel 50.
+	c50, _ := spectrum.EU.CenterFreqHz(50)
+	want := c50 + 8e6
+	if l.CenterFreqHz != want {
+		t.Fatalf("carrier centre %g, want %g", l.CenterFreqHz, want)
+	}
+}
+
+func TestRequiredTVChannels(t *testing.T) {
+	cases := []struct {
+		bw    lte.Bandwidth
+		width float64
+		want  int
+	}{
+		{lte.BW5MHz, 6e6, 1}, {lte.BW5MHz, 8e6, 1},
+		{lte.BW10MHz, 6e6, 2}, {lte.BW10MHz, 8e6, 2},
+		{lte.BW20MHz, 6e6, 4}, {lte.BW20MHz, 8e6, 3},
+	}
+	for _, c := range cases {
+		if got := RequiredTVChannels(c.bw, c.width); got != c.want {
+			t.Errorf("RequiredTVChannels(%d MHz, %g) = %d, want %d", c.bw, c.width, got, c.want)
+		}
+	}
+}
+
+// The Figure 6 protocol cycle end-to-end over real HTTP: acquire,
+// withdraw for five minutes, verify the selector is off-channel within
+// the ETSI deadline, then reacquire when the incumbent leaves.
+func TestSelectorFigure6Cycle(t *testing.T) {
+	f := newSelFixture(t)
+	if _, err := f.sel.Refresh(f.now); err != nil {
+		t.Fatal(err)
+	}
+	ch := f.sel.Current().Channel
+	// Block EVERY channel so no switch is possible — the paper's
+	// experiment has the AP go dark.
+	for _, c := range spectrum.EU.Channels() {
+		f.block(t, c, 5*time.Minute)
+	}
+	// Poll once per second as the experiment does; the selector must
+	// vacate at the first poll after withdrawal — far inside the
+	// 60-second ETSI budget.
+	var vacatedAt time.Time
+	for i := 1; i <= 60; i++ {
+		f.now = t0.Add(time.Duration(i) * time.Second)
+		act, _ := f.sel.Refresh(f.now)
+		if act == Vacated {
+			vacatedAt = f.now
+			break
+		}
+	}
+	if vacatedAt.IsZero() {
+		t.Fatal("never vacated within the ETSI deadline")
+	}
+	if vacatedAt.Sub(t0) > VacateDeadline {
+		t.Fatalf("vacated after %v, deadline %v", vacatedAt.Sub(t0), VacateDeadline)
+	}
+	// Five minutes later the mics leave; the AP reacquires.
+	f.now = t0.Add(5*time.Minute + 2*time.Second)
+	act, err := f.sel.Refresh(f.now)
+	if err != nil || act != Acquired {
+		t.Fatalf("reacquisition: %v, %v", act, err)
+	}
+	if f.sel.Current().Channel != ch {
+		t.Fatalf("reacquired %d, want original %d", f.sel.Current().Channel, ch)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/paws"
+	"cellfi/internal/spectrum"
+)
+
+// Failure injection around the channel selector: spectrum databases go
+// down, answers get slow, connections break. The regulatory invariant
+// under every failure: a device without a fresh answer past its lease
+// expiry must go silent.
+
+// flakyDB wraps a real PAWS server and fails requests on demand.
+type flakyDB struct {
+	inner *paws.Server
+	// failing, when nonzero, turns every request into a 500.
+	failing atomic.Bool
+}
+
+func (f *flakyDB) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.failing.Load() {
+		http.Error(w, "database outage", http.StatusInternalServerError)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func newFlakyFixture(t *testing.T) (*flakyDB, *ChannelSelector, *paws.Server, func(time.Time)) {
+	t.Helper()
+	reg := spectrum.NewRegistry(spectrum.EU)
+	// Short leases so outage-past-expiry is quick to reach.
+	reg.LeaseDuration = 30 * time.Second
+	srv := paws.NewServer(reg)
+	now := t0
+	srv.Now = func() time.Time { return now }
+	flaky := &flakyDB{inner: srv}
+	hs := httptest.NewServer(flaky)
+	t.Cleanup(hs.Close)
+	sel := NewChannelSelector(paws.NewClient(hs.URL, "AP-FLAKY"), geo.Point{X: 5, Y: 5}, 15)
+	setNow := func(tm time.Time) { now = tm }
+	return flaky, sel, srv, setNow
+}
+
+func TestSelectorSurvivesTransientOutage(t *testing.T) {
+	flaky, sel, _, _ := newFlakyFixture(t)
+	if act, err := sel.Refresh(t0); err != nil || act != Acquired {
+		t.Fatalf("acquire: %v %v", act, err)
+	}
+	ch := sel.Current().Channel
+
+	// A short outage well inside the lease: the AP keeps operating on
+	// its valid lease.
+	flaky.failing.Store(true)
+	act, err := sel.Refresh(t0.Add(5 * time.Second))
+	if err == nil {
+		t.Fatal("outage should surface an error")
+	}
+	if act != NoChange || sel.Current() == nil || sel.Current().Channel != ch {
+		t.Fatalf("valid lease dropped during transient outage: %v", act)
+	}
+
+	// Database recovers: business as usual.
+	flaky.failing.Store(false)
+	if act, err := sel.Refresh(t0.Add(10 * time.Second)); err != nil || act != NoChange {
+		t.Fatalf("post-recovery refresh: %v %v", act, err)
+	}
+}
+
+func TestSelectorGoesSilentWhenOutagePassesLeaseExpiry(t *testing.T) {
+	flaky, sel, _, setNow := newFlakyFixture(t)
+	if _, err := sel.Refresh(t0); err != nil {
+		t.Fatal(err)
+	}
+	flaky.failing.Store(true)
+	// Poll through the outage; once the lease (30 s) expires with no
+	// fresh answer, the AP must vacate — the fail-safe the regulations
+	// demand.
+	var vacatedAt time.Duration
+	for s := 1; s <= 60; s++ {
+		at := t0.Add(time.Duration(s) * time.Second)
+		setNow(at)
+		act, _ := sel.Refresh(at)
+		if act == Vacated {
+			vacatedAt = time.Duration(s) * time.Second
+			break
+		}
+	}
+	if vacatedAt == 0 {
+		t.Fatal("AP kept transmitting through an outage past lease expiry")
+	}
+	if vacatedAt < 30*time.Second {
+		t.Fatalf("vacated at %v, before the lease actually expired", vacatedAt)
+	}
+	if sel.Current() != nil {
+		t.Fatal("lease present after fail-safe vacate")
+	}
+}
+
+func TestSelectorAgainstDeadEndpoint(t *testing.T) {
+	// Connection refused (no server at all): Refresh errors, no lease
+	// ever exists, nothing panics.
+	sel := NewChannelSelector(paws.NewClient("http://127.0.0.1:1", "AP-DEAD"), geo.Point{}, 15)
+	act, err := sel.Refresh(t0)
+	if err == nil {
+		t.Fatal("dead endpoint should error")
+	}
+	if act != NoChange || sel.Current() != nil {
+		t.Fatalf("dead endpoint produced state: %v %v", act, sel.Current())
+	}
+}
+
+func TestSelectorReacquiresAfterFailSafe(t *testing.T) {
+	flaky, sel, _, setNow := newFlakyFixture(t)
+	if _, err := sel.Refresh(t0); err != nil {
+		t.Fatal(err)
+	}
+	flaky.failing.Store(true)
+	at := t0.Add(45 * time.Second) // past the 30 s lease
+	setNow(at)
+	if act, _ := sel.Refresh(at); act != Vacated {
+		t.Fatalf("expected fail-safe vacate, got %v", act)
+	}
+	flaky.failing.Store(false)
+	at = at.Add(time.Second)
+	setNow(at)
+	if act, err := sel.Refresh(at); err != nil || act != Acquired {
+		t.Fatalf("reacquisition after recovery: %v %v", act, err)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// FuzzShareInvariants: the Section 5.2 share stays within [0, S], never
+// zeroes an AP with clients, and is monotone in own client count.
+func FuzzShareInvariants(f *testing.F) {
+	f.Add(13, 6, 12)
+	f.Add(25, 0, 5)
+	f.Add(13, 100, 3)
+	f.Add(1, 1, 1)
+	f.Fuzz(func(t *testing.T, s, own, sensed int) {
+		if s <= 0 || s > 1000 || own < 0 || own > 10000 || sensed < 0 || sensed > 10000 {
+			return
+		}
+		got := Share(s, own, sensed)
+		if got < 0 || got > s {
+			t.Fatalf("Share(%d,%d,%d) = %d out of range", s, own, sensed, got)
+		}
+		if own > 0 && got == 0 {
+			t.Fatalf("Share(%d,%d,%d) = 0 despite own clients", s, own, sensed)
+		}
+		if more := Share(s, own+1, sensed); more < got {
+			t.Fatalf("Share not monotone in own clients: %d -> %d", got, more)
+		}
+		if fewer := Share(s, own, sensed+1); fewer > got {
+			t.Fatalf("Share not antitone in sensed contenders: %d -> %d", got, fewer)
+		}
+	})
+}

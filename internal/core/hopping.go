@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// sortedKeysF returns the keys of a float-valued map in ascending order.
+func sortedKeysF(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedKeysI returns the keys of an int-valued map in ascending order.
+func sortedKeysI(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Distributed subchannel selection (Section 5.3). Each epoch the
+// controller reconciles its held subchannel set against the target
+// share, decrements exponential bucket values for subchannels its
+// clients report as bad, hops off exhausted subchannels onto the
+// highest-utility alternatives, and runs the channel re-use packing
+// heuristic toward low-index subchannels.
+
+// DefaultLambda is the mean of the exponential bucket distribution;
+// the paper found 10 to work well experimentally.
+const DefaultLambda = 10.0
+
+// Controller is the per-AP interference-management state machine.
+type Controller struct {
+	// S is the number of subchannels in the channel.
+	S int
+	// Lambda is the bucket mean.
+	Lambda float64
+	// PackingEnabled turns the channel re-use heuristic on (the
+	// default; off for the ablation).
+	PackingEnabled bool
+
+	rng     *rand.Rand
+	buckets map[int]float64 // held subchannel -> remaining bucket value
+	// Hops counts subchannel changes (for convergence reporting).
+	Hops int
+}
+
+// EpochInput carries one epoch's observations into the controller.
+type EpochInput struct {
+	// TargetShare is the share-calculation output for this epoch.
+	TargetShare int
+	// BadFrac maps held subchannels to the scheduled-time fraction
+	// of clients that observed them as interfered (the bucket
+	// decrement of Section 5.3). Absent key = observed good.
+	BadFrac map[int]float64
+	// Utility scores candidate subchannels: estimated achievable
+	// throughput summed over the clients recently scheduled there
+	// (higher is better). Used to pick replacement subchannels. May
+	// be nil, in which case replacements are random.
+	Utility map[int]float64
+	// SensedBusy marks subchannels the AP believes other networks
+	// currently occupy; hopping avoids them. (Derived from client
+	// CQI reports; imperfect.)
+	SensedBusy map[int]bool
+	// PackCandidate maps a held subchannel to a lower-index
+	// subchannel that all of its recently scheduled users observed
+	// as free for a contiguous period (Section 5.3 channel re-use).
+	PackCandidate map[int]int
+}
+
+// NewController returns a controller for S subchannels using the given
+// random stream.
+func NewController(s int, rng *rand.Rand) *Controller {
+	if s <= 0 {
+		panic("core: controller needs at least one subchannel")
+	}
+	return &Controller{
+		S:              s,
+		Lambda:         DefaultLambda,
+		PackingEnabled: true,
+		rng:            rng,
+		buckets:        make(map[int]float64),
+	}
+}
+
+// Held returns the currently held subchannels in ascending order.
+func (c *Controller) Held() []int {
+	out := make([]int, 0, len(c.buckets))
+	for k := range c.buckets {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Holds reports whether subchannel k is held.
+func (c *Controller) Holds(k int) bool {
+	_, ok := c.buckets[k]
+	return ok
+}
+
+// drawBucket samples a fresh exponential bucket value.
+func (c *Controller) drawBucket() float64 {
+	return c.rng.ExpFloat64() * c.Lambda
+}
+
+// Epoch runs one 1-second interference-management update and returns
+// the held set after the update.
+func (c *Controller) Epoch(in EpochInput) []int {
+	target := in.TargetShare
+	if target > c.S {
+		target = c.S
+	}
+	if target < 0 {
+		target = 0
+	}
+
+	// 1. Bucket updates: decrement buckets of subchannels observed
+	// bad; give up the ones that reach zero and hop to the best
+	// available alternative. Keys are visited in ascending order so
+	// runs are deterministic for a given seed.
+	for _, k := range sortedKeysF(in.BadFrac) {
+		frac := in.BadFrac[k]
+		if _, held := c.buckets[k]; !held || frac <= 0 {
+			continue
+		}
+		c.buckets[k] -= frac
+		if c.buckets[k] <= 0 {
+			delete(c.buckets, k)
+			if repl, ok := c.pickReplacement(in); ok {
+				c.buckets[repl] = c.drawBucket()
+			}
+			c.Hops++
+		}
+	}
+
+	// 2. Share reconciliation.
+	for len(c.buckets) > target {
+		// Release the held subchannel with the lowest utility
+		// (least valuable to our clients).
+		c.release(in.Utility)
+	}
+	for len(c.buckets) < target {
+		k, ok := c.pickReplacement(in)
+		if !ok {
+			break // nothing sensed free; try again next epoch
+		}
+		c.buckets[k] = c.drawBucket()
+	}
+
+	// 3. Channel re-use packing: migrate toward low-index free
+	// subchannels so lightly interfered cells spontaneously overlap
+	// there (Section 5.3).
+	if c.PackingEnabled {
+		for _, from := range sortedKeysI(in.PackCandidate) {
+			to := in.PackCandidate[from]
+			if !c.Holds(from) || c.Holds(to) || to >= from {
+				continue
+			}
+			if in.SensedBusy[to] {
+				continue
+			}
+			delete(c.buckets, from)
+			c.buckets[to] = c.drawBucket()
+			c.Hops++
+		}
+	}
+	return c.Held()
+}
+
+// release drops the held subchannel with the lowest utility (lowest
+// index among ties, keeping runs deterministic).
+func (c *Controller) release(utility map[int]float64) {
+	worst, worstScore := -1, 0.0
+	for _, k := range c.Held() {
+		score := utility[k]
+		if worst == -1 || score < worstScore {
+			worst, worstScore = k, score
+		}
+	}
+	if worst >= 0 {
+		delete(c.buckets, worst)
+	}
+}
+
+// pickReplacement chooses an unheld, not-sensed-busy subchannel with
+// maximum utility; ties (and the nil-utility case) break uniformly at
+// random.
+func (c *Controller) pickReplacement(in EpochInput) (int, bool) {
+	var best []int
+	bestScore := 0.0
+	for k := 0; k < c.S; k++ {
+		if c.Holds(k) || in.SensedBusy[k] {
+			continue
+		}
+		score := in.Utility[k]
+		switch {
+		case len(best) == 0 || score > bestScore:
+			best = best[:0]
+			best = append(best, k)
+			bestScore = score
+		case score == bestScore:
+			best = append(best, k)
+		}
+	}
+	if len(best) == 0 {
+		return 0, false
+	}
+	return best[c.rng.Intn(len(best))], true
+}
+
+// Release drops a held subchannel (no hop counted: the caller is a
+// coordinated reassignment, not a contention loss). It reports whether
+// the subchannel was held.
+func (c *Controller) Release(k int) bool {
+	if _, ok := c.buckets[k]; !ok {
+		return false
+	}
+	delete(c.buckets, k)
+	return true
+}
+
+// Acquire takes a specific subchannel with a fresh bucket, counting a
+// hop. Used by coordinated layers (e.g. an operator deconflicting its
+// own cells) that place cells deterministically.
+func (c *Controller) Acquire(k int) {
+	if k < 0 || k >= c.S {
+		panic("core: acquire out of range")
+	}
+	if _, ok := c.buckets[k]; ok {
+		return
+	}
+	c.buckets[k] = c.drawBucket()
+	c.Hops++
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newHopper(seed int64) *RandomHopper {
+	return NewRandomHopper(13, rand.New(rand.NewSource(seed)))
+}
+
+func TestRandomHopperAcquiresAndShrinks(t *testing.T) {
+	h := newHopper(1)
+	held := h.Epoch(EpochInput{TargetShare: 7})
+	if len(held) != 7 {
+		t.Fatalf("held %d, want 7", len(held))
+	}
+	held = h.Epoch(EpochInput{TargetShare: 2})
+	if len(held) != 2 {
+		t.Fatalf("held %d after shrink, want 2", len(held))
+	}
+	if len(h.Epoch(EpochInput{TargetShare: 99})) != 13 {
+		t.Fatal("over-target not clamped to channel size")
+	}
+	if len(h.Epoch(EpochInput{TargetShare: -3})) != 0 {
+		t.Fatal("negative target not clamped")
+	}
+}
+
+func TestRandomHopperDropsBadImmediately(t *testing.T) {
+	h := newHopper(2)
+	h.Epoch(EpochInput{TargetShare: 1})
+	k := h.Held()[0]
+	// The tiniest bad fraction evicts instantly — no bucket
+	// hysteresis. (The replacement draw may land back on k, so mark
+	// it busy to observe the eviction.)
+	held := h.Epoch(EpochInput{
+		TargetShare: 1,
+		BadFrac:     map[int]float64{k: 0.01},
+		SensedBusy:  map[int]bool{k: true},
+	})
+	if len(held) != 1 || held[0] == k {
+		t.Fatalf("bad subchannel %d not evicted: %v", k, held)
+	}
+	if h.HopCount() != 1 {
+		t.Fatalf("hops = %d, want 1", h.HopCount())
+	}
+}
+
+func TestRandomHopperAvoidsBusy(t *testing.T) {
+	h := newHopper(3)
+	busy := map[int]bool{}
+	for k := 0; k < 12; k++ {
+		busy[k] = true
+	}
+	held := h.Epoch(EpochInput{TargetShare: 5, SensedBusy: busy})
+	if len(held) != 1 || held[0] != 12 {
+		t.Fatalf("held %v, want just subchannel 12", held)
+	}
+}
+
+// The ablation's point: under sustained contention the bucketless
+// hopper churns far more than the CellFi controller. Two neighbours
+// fight over a channel that only fits one of their shares at a time.
+func TestRandomHopperChurnsMoreThanBuckets(t *testing.T) {
+	churn := func(mk func(seed int64) IM) int {
+		a, b := mk(10), mk(20)
+		toBusy := func(h []int) map[int]bool {
+			m := map[int]bool{}
+			for _, k := range h {
+				m[k] = true
+			}
+			return m
+		}
+		var ha, hb []int
+		for i := 0; i < 120; i++ {
+			// Each side sees the other's holdings as interference on
+			// overlap, plus transient noise marks (shared pattern).
+			inA := EpochInput{TargetShare: 7, BadFrac: overlapBad(ha, hb), SensedBusy: toBusy(hb)}
+			// Transient false positives on one held subchannel.
+			if len(ha) > 0 && i%4 == 0 {
+				inA.BadFrac[ha[i%len(ha)]] += 0.3
+			}
+			ha = a.Epoch(inA)
+			inB := EpochInput{TargetShare: 7, BadFrac: overlapBad(hb, ha), SensedBusy: toBusy(ha)}
+			if len(hb) > 0 && i%4 == 2 {
+				inB.BadFrac[hb[i%len(hb)]] += 0.3
+			}
+			hb = b.Epoch(inB)
+		}
+		return a.HopCount() + b.HopCount()
+	}
+	bucketed := churn(func(seed int64) IM {
+		return NewController(13, rand.New(rand.NewSource(seed)))
+	})
+	random := churn(func(seed int64) IM {
+		return NewRandomHopper(13, rand.New(rand.NewSource(seed)))
+	})
+	if random <= bucketed {
+		t.Fatalf("bucketless hopper churned less (%d) than CellFi (%d)?", random, bucketed)
+	}
+}
+
+func TestRandomHopperIsIM(t *testing.T) {
+	var _ IM = newHopper(5)
+	var _ IM = NewController(13, rand.New(rand.NewSource(5)))
+}
+
+func TestRandomHopperZeroSubchannelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRandomHopper(0, nil)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/sim"
+	"cellfi/internal/stats"
+)
+
+func init() { register("sched", SchedulerAblation) }
+
+// SchedulerAblation exercises the claim behind Section 4.3 — that the
+// unmodified LTE scheduler composes with CellFi's subchannel grants —
+// at subframe granularity: a single cell with mixed-distance clients
+// runs two seconds of per-millisecond scheduling under proportional
+// fair and round robin, over the full carrier and over a CellFi-style
+// 5-subchannel grant. PF's multi-user diversity gain and the grant's
+// proportional rate cut are the expected signatures.
+func SchedulerAblation(seed int64, quick bool) Result {
+	dur := 2 * time.Second
+	seeds := 3
+	if quick {
+		dur = 500 * time.Millisecond
+		seeds = 1
+	}
+	dists := []float64{200, 500, 800, 1100}
+
+	run := func(sched lte.Scheduler, allowed []int, s int64) (total int64, min int64, bler float64) {
+		eng := sim.NewEngine(s)
+		env := lte.NewEnvironment(s)
+		env.Model.ShadowSigmaDB = 0
+		cell := &lte.Cell{
+			ID: 1, Pos: geo.Point{}, TxPowerDBm: 30,
+			BW: lte.BW5MHz, TDD: lte.TDDConfig4, Activity: lte.FullBuffer,
+		}
+		var clients []*lte.Client
+		for i, d := range dists {
+			clients = append(clients, &lte.Client{ID: 100 + i, Pos: geo.Point{X: d}, TxPowerDBm: 20})
+		}
+		cs := lte.NewCellSim(eng, env, cell, clients)
+		cs.Sched = sched
+		cs.Allowed = allowed
+		cs.Start()
+		for _, c := range clients {
+			cs.Backlog(c.ID, 1<<40)
+		}
+		eng.Run(dur)
+		min = 1 << 62
+		for _, c := range clients {
+			b := cs.DeliveredBits(c.ID)
+			total += b
+			if b < min {
+				min = b
+			}
+		}
+		return total, min, cs.FirstTxBLER()
+	}
+
+	grant := []int{2, 5, 7, 9, 11} // a CellFi-style 5-subchannel share
+
+	type row struct {
+		name    string
+		sched   func() lte.Scheduler
+		allowed []int
+	}
+	rows := []row{
+		{"PF, full carrier", func() lte.Scheduler { return &lte.ProportionalFair{} }, nil},
+		{"RR, full carrier", func() lte.Scheduler { return &lte.RoundRobin{} }, nil},
+		{"PF, 5-subchannel grant", func() lte.Scheduler { return &lte.ProportionalFair{} }, grant},
+		{"RR, 5-subchannel grant", func() lte.Scheduler { return &lte.RoundRobin{} }, grant},
+	}
+	t := &stats.Table{
+		Title:   "Scheduler composition at subframe granularity (4 clients, 200-1100 m)",
+		Headers: []string{"Configuration", "Cell Mbps", "Worst client Mbps", "First-tx BLER"},
+	}
+	results := map[string][2]float64{}
+	for _, r := range rows {
+		var total, min int64
+		var bler float64
+		for s := int64(0); s < int64(seeds); s++ {
+			tt, mm, bb := run(r.sched(), r.allowed, seed+s)
+			total += tt
+			min += mm
+			bler += bb
+		}
+		secs := dur.Seconds() * float64(seeds)
+		t.AddRow(r.name,
+			stats.Fmt(float64(total)/secs/1e6),
+			stats.Fmt(float64(min)/secs/1e6),
+			stats.Fmt(bler/float64(seeds)))
+		results[r.name] = [2]float64{float64(total) / secs / 1e6, float64(min) / secs / 1e6}
+	}
+
+	pfGain := results["PF, full carrier"][0] / maxf(results["RR, full carrier"][0], 1e-9)
+	grantCut := results["PF, 5-subchannel grant"][0] / maxf(results["PF, full carrier"][0], 1e-9)
+	return Result{
+		ID:     "sched",
+		Title:  "Section 4.3: the unmodified scheduler over CellFi grants",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			note("proportional fair carries %.2fx round robin's cell throughput via sub-band diversity", pfGain),
+			note("a 5/13-subchannel CellFi grant delivers %.0f%% of the full carrier — the scheduler simply works inside the granted set, as Section 4.3 requires", grantCut*100),
+		},
+	}
+}

@@ -1,0 +1,115 @@
+package lte
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBandCandidates(t *testing.T) {
+	b := Band{LowHz: 470e6, HighHz: 470.5e6, RasterHz: 100e3}
+	if got := b.Candidates(); got != 6 {
+		t.Fatalf("candidates = %d, want 6 (both edges inclusive)", got)
+	}
+	if (Band{LowHz: 1, HighHz: 0, RasterHz: 1}).Candidates() != 0 {
+		t.Fatal("inverted band should contribute nothing")
+	}
+	if !b.Contains(470.2e6) || b.Contains(471e6) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// Section 6.2 calibration: a multi-band scan takes the measured ~56 s,
+// dominated by the wide high bands.
+func TestFullScanMatchesMeasured56s(t *testing.T) {
+	s := NewCellSearcher()
+	got := s.FullScanTime()
+	want := 56 * time.Second
+	if got < want-6*time.Second || got > want+6*time.Second {
+		t.Fatalf("full scan = %v, want about %v", got, want)
+	}
+}
+
+func TestSearchTimeOrdering(t *testing.T) {
+	s := NewCellSearcher()
+	// A carrier early in the first band is found quickly; one at the
+	// end of the last band costs the full scan.
+	early, err := s.SearchTime(746.1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := s.SearchTime(3799.9e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early >= late {
+		t.Fatalf("early carrier (%v) not faster than late carrier (%v)", early, late)
+	}
+	if late > s.FullScanTime() {
+		t.Fatalf("late carrier %v exceeds the full scan %v", late, s.FullScanTime())
+	}
+	if _, err := s.SearchTime(10e9); err == nil {
+		t.Fatal("frequency outside all bands should error")
+	}
+}
+
+// The paper's optimization: restricting the scan to TVWS-overlapping
+// bands cuts reconnection by an order of magnitude.
+func TestRestrictToTVWS(t *testing.T) {
+	full := NewCellSearcher().FullScanTime()
+	s := NewCellSearcher().RestrictToTVWS()
+	for _, b := range s.Bands {
+		if b.LowHz >= 800e6 {
+			t.Fatalf("band %s survived the TVWS restriction", b.Name)
+		}
+	}
+	restricted := s.FullScanTime()
+	if restricted > full/3 {
+		t.Fatalf("TVWS-only scan %v should be far below the full %v", restricted, full)
+	}
+	// A TVWS carrier must still be findable.
+	tvws, err := s.SearchTime(474e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvws > restricted {
+		t.Fatal("TVWS carrier search exceeds the restricted full scan")
+	}
+}
+
+func TestSearchTimeMonotoneWithinBand(t *testing.T) {
+	s := NewCellSearcher()
+	prev := time.Duration(0)
+	for f := 470e6; f <= 698e6; f += 25e6 {
+		got, err := s.SearchTime(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Fatalf("search time decreased at %.0f MHz", f/1e6)
+		}
+		prev = got
+	}
+}
+
+func TestScanTimeArithmetic(t *testing.T) {
+	s := &CellSearcher{
+		Bands:             []Band{{LowHz: 0, HighHz: 1e6, RasterHz: 100e3}},
+		DwellPerCandidate: time.Millisecond,
+		SyncAndSIB:        time.Second,
+	}
+	if got := s.TotalCandidates(); got != 11 {
+		t.Fatalf("candidates = %d", got)
+	}
+	want := 11*time.Millisecond + time.Second
+	if got := s.FullScanTime(); got != want {
+		t.Fatalf("full scan = %v, want %v", got, want)
+	}
+	at, err := s.SearchTime(500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(at-(6*time.Millisecond+time.Second))) > float64(time.Millisecond) {
+		t.Fatalf("search time = %v", at)
+	}
+}

@@ -1,0 +1,119 @@
+package lte
+
+import (
+	"math/rand"
+
+	"cellfi/internal/phy"
+)
+
+// CQI reporting. LTE clients measure per-subchannel SINR and feed back
+// channel-quality indicators. CellFi configures higher-layer aperiodic
+// mode 3-0 sub-band reports every 2 ms (Section 5.1) and detects
+// interference from drops in the reported values.
+
+// CQIReport is one mode 3-0 report: a wideband CQI plus one CQI per
+// subchannel (sub-band).
+type CQIReport struct {
+	Wideband int
+	Subband  []int
+	// Bits is the on-air payload of the report.
+	Bits int
+}
+
+// CQIReporter quantizes a client's true per-subchannel SINRs into CQI
+// reports, with optional measurement noise. One reporter models one
+// client's feedback chain.
+type CQIReporter struct {
+	// NoiseProb is the probability that a sub-band CQI is off by one
+	// step (either direction). The paper's detector is evaluated
+	// against exactly this kind of imperfection.
+	NoiseProb float64
+	rng       *rand.Rand
+}
+
+// NewCQIReporter returns a reporter with the given measurement noise
+// probability, using rng for the noise draws (may be nil when
+// NoiseProb is zero).
+func NewCQIReporter(noiseProb float64, rng *rand.Rand) *CQIReporter {
+	return &CQIReporter{NoiseProb: noiseProb, rng: rng}
+}
+
+// Report builds a mode 3-0 report from true per-subchannel SINRs.
+func (r *CQIReporter) Report(sinrsDB []float64) CQIReport {
+	sub := make([]int, len(sinrsDB))
+	for i, s := range sinrsDB {
+		c := phy.LTECQIFromSINR(s)
+		if r.NoiseProb > 0 && r.rng != nil && r.rng.Float64() < r.NoiseProb {
+			if r.rng.Intn(2) == 0 {
+				c--
+			} else {
+				c++
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c > phy.LTECQICount {
+				c = phy.LTECQICount
+			}
+		}
+		sub[i] = c
+	}
+	return CQIReport{
+		Wideband: phy.LTECQIFromSINR(phy.EffectiveSINRdB(sinrsDB)),
+		Subband:  sub,
+		Bits:     CQIReportBits,
+	}
+}
+
+// CQITracker keeps, per subchannel, the maximum CQI observed in a
+// sliding window. The CellFi interference detector (Section 6.3.2)
+// compares fresh reports against this maximum: a sustained drop below
+// 60% of the windowed max signals interference.
+type CQITracker struct {
+	subchannels int
+	window      int
+	history     [][]int // ring buffers per subchannel
+	pos, filled int
+}
+
+// NewCQITracker tracks maxima over the given number of reports
+// (the paper uses windows of a few hundred 2 ms samples).
+func NewCQITracker(subchannels, window int) *CQITracker {
+	if subchannels <= 0 || window <= 0 {
+		panic("lte: tracker needs positive dimensions")
+	}
+	h := make([][]int, subchannels)
+	for i := range h {
+		h[i] = make([]int, window)
+	}
+	return &CQITracker{subchannels: subchannels, window: window, history: h}
+}
+
+// Add records one report's sub-band values.
+func (t *CQITracker) Add(report CQIReport) {
+	if len(report.Subband) != t.subchannels {
+		panic("lte: report subchannel count mismatch")
+	}
+	for i, c := range report.Subband {
+		t.history[i][t.pos] = c
+	}
+	t.pos = (t.pos + 1) % t.window
+	if t.filled < t.window {
+		t.filled++
+	}
+}
+
+// Max returns the maximum CQI seen for a subchannel within the window,
+// or 0 if nothing has been recorded.
+func (t *CQITracker) Max(subchannel int) int {
+	m := 0
+	for i := 0; i < t.filled; i++ {
+		if c := t.history[subchannel][i]; c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Samples returns how many reports the window currently holds.
+func (t *CQITracker) Samples() int { return t.filled }

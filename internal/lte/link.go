@@ -1,0 +1,208 @@
+package lte
+
+import (
+	"math"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/propagation"
+)
+
+// Link-level radio model: cells, clients, and per-subchannel SINR
+// computation including neighbouring-cell interference. This is the
+// substrate for the paper's link experiments (Figures 1, 7 and 8).
+
+// Activity describes what an interfering cell is transmitting.
+type Activity int
+
+const (
+	// Off: radio disabled, no interference.
+	Off Activity = iota
+	// SignallingOnly: no user data, but reference signals, sync
+	// signals and control channels are always on. Roughly 15% of
+	// downlink resource elements, matching the paper's finding that
+	// signalling-only interference costs at most ~20% goodput
+	// (Figure 7b).
+	SignallingOnly
+	// FullBuffer: backlogged data in every subframe.
+	FullBuffer
+)
+
+// DutyFactor returns the fraction of resource elements the activity
+// level occupies, i.e. the effective interference scaling.
+func (a Activity) DutyFactor() float64 {
+	switch a {
+	case Off:
+		return 0
+	case SignallingOnly:
+		return 0.15
+	case FullBuffer:
+		return 1
+	}
+	return 0
+}
+
+func (a Activity) String() string {
+	switch a {
+	case Off:
+		return "off"
+	case SignallingOnly:
+		return "signalling-only"
+	case FullBuffer:
+		return "full-buffer"
+	}
+	return "?"
+}
+
+// Cell is an LTE small-cell access point.
+type Cell struct {
+	ID         int
+	Pos        geo.Point
+	TxPowerDBm float64
+	Antenna    propagation.Antenna
+	BW         Bandwidth
+	TDD        TDDConfig
+	// Activity is the cell's transmit behaviour when viewed as an
+	// interferer.
+	Activity Activity
+	// ActiveSubchannels restricts which subchannels the cell
+	// transmits in; nil means all (plain LTE). This is the hook the
+	// CellFi interference-management component drives.
+	ActiveSubchannels map[int]bool
+}
+
+// TransmitsIn reports whether the cell emits data energy in subchannel
+// sc. Signalling (CRS/sync/PDCCH) is spread across the whole carrier
+// regardless of the data allocation, which is why a cell is never
+// interference-free while powered on (Section 6.3.1).
+func (c *Cell) TransmitsIn(sc int) bool {
+	if c.Activity != FullBuffer {
+		return false
+	}
+	if c.ActiveSubchannels == nil {
+		return true
+	}
+	return c.ActiveSubchannels[sc]
+}
+
+// PerRBPowerDBm returns the transmit power allocated to one resource
+// block: total power divided evenly across the carrier's RBs.
+func (c *Cell) PerRBPowerDBm() float64 {
+	return c.TxPowerDBm - 10*math.Log10(float64(c.BW.ResourceBlocks()))
+}
+
+// Client is a mobile device.
+type Client struct {
+	ID         int
+	Pos        geo.Point
+	TxPowerDBm float64
+	// Serving is the attached cell (nil while detached).
+	Serving *Cell
+}
+
+// Environment binds the propagation model to a noise figure and fading
+// process, and answers SINR questions.
+type Environment struct {
+	Model         *propagation.Model
+	Fading        *propagation.Fading
+	NoiseFigureDB float64
+}
+
+// NewEnvironment builds the default evaluation environment: calibrated
+// urban propagation, block Rayleigh fading, 7 dB receiver noise figure.
+func NewEnvironment(seed int64) *Environment {
+	return &Environment{
+		Model:         propagation.DefaultUrban(seed),
+		Fading:        propagation.NewFading(seed + 1),
+		NoiseFigureDB: 7,
+	}
+}
+
+// rxPowerDBm returns the power a receiver at rxPos sees from cell tx on
+// one resource block of subchannel sc at time tMS.
+func (e *Environment) rxPowerDBm(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
+	gain := tx.Antenna.GainDB(tx.Pos.Bearing(rxPos))
+	loss := e.Model.LinkLossDB(tx.Pos, rxPos)
+	fade := e.Fading.GainDB(propagation.LinkID(tx.ID, rxID), sc, tMS)
+	return tx.PerRBPowerDBm() + gain - loss + fade
+}
+
+// DownlinkSINR returns the data-resource-element SINR a client sees in
+// subchannel sc from its serving cell at time tMS (milliseconds). Only
+// interferers actually transmitting *data* in sc contribute: control
+// signalling from powered-on neighbours occupies different resource
+// elements and is modelled as puncturing (see PuncturedGoodputFactor),
+// matching the paper's finding that signalling-only interference leaves
+// data SINR intact and costs at most ~20% goodput (Figure 7b).
+func (e *Environment) DownlinkSINR(serving *Cell, interferers []*Cell, cl *Client, sc int, tMS int64) float64 {
+	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
+	noise := propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)
+	den := propagation.DBmToMW(noise)
+	for _, ic := range interferers {
+		if ic == serving || !ic.TransmitsIn(sc) {
+			continue
+		}
+		den += propagation.DBmToMW(e.rxPowerDBm(ic, cl.Pos, cl.ID, sc, tMS))
+	}
+	return signal - propagation.MWToDBm(den)
+}
+
+// PuncturedGoodputFactor returns the fraction of goodput that survives
+// control-channel collisions from powered-on neighbouring cells.
+// Reference and control signals occupy ~15% of a cell's resource
+// elements regardless of data load; where a neighbour's control REs
+// land on the serving cell's data REs with power comparable to or above
+// the signal, those REs are lost. The factor is
+// 1 - sum_i 0.15 * kill_i, floored at 0.4, where kill_i is a logistic
+// in the signal-to-interferer power gap.
+func (e *Environment) PuncturedGoodputFactor(serving *Cell, interferers []*Cell, cl *Client, sc int, tMS int64) float64 {
+	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
+	loss := 0.0
+	for _, ic := range interferers {
+		if ic == serving || ic.Activity == Off {
+			continue
+		}
+		p := e.rxPowerDBm(ic, cl.Pos, cl.ID, sc, tMS)
+		// Probability one punctured RE is unrecoverable: ~1 when the
+		// interferer is stronger than the signal, fading out as the
+		// signal wins by more than a few dB.
+		kill := 1 / (1 + math.Pow(10, (signal-p-3)/10))
+		loss += SignallingOnly.DutyFactor() * kill
+	}
+	f := 1 - loss
+	if f < 0.4 {
+		f = 0.4
+	}
+	return f
+}
+
+// DownlinkRSSI returns the client's received signal strength from a
+// cell over the full carrier (the QXDM-style metric of Figure 7b).
+func (e *Environment) DownlinkRSSI(tx *Cell, cl *Client, tMS int64) float64 {
+	perRB := e.rxPowerDBm(tx, cl.Pos, cl.ID, 0, tMS)
+	return perRB + 10*math.Log10(float64(tx.BW.ResourceBlocks()))
+}
+
+// UplinkSINR returns the SINR the serving cell sees from a client that
+// concentrates its transmit power in nRBs resource blocks of
+// subchannel sc — the OFDMA narrow-allocation advantage of Figure 1c.
+func (e *Environment) UplinkSINR(cl *Client, serving *Cell, nRBs, sc int, tMS int64) float64 {
+	if nRBs <= 0 {
+		panic("lte: uplink needs at least one RB")
+	}
+	perRB := cl.TxPowerDBm - 10*math.Log10(float64(nRBs))
+	gain := serving.Antenna.GainDB(serving.Pos.Bearing(cl.Pos))
+	loss := e.Model.LinkLossDB(cl.Pos, serving.Pos)
+	fade := e.Fading.GainDB(propagation.LinkID(cl.ID+1<<16, serving.ID), sc, tMS)
+	signal := perRB + gain - loss + fade
+	noise := propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)
+	return signal - noise
+}
+
+// SNRAtDistance returns the median (no shadowing, no fading) downlink
+// SNR over the full carrier at the given distance — the link-budget
+// helper behind the coverage discussions.
+func (e *Environment) SNRAtDistance(tx *Cell, d float64) float64 {
+	eirp := tx.TxPowerDBm + tx.Antenna.GainDBi
+	noise := propagation.NoiseDBm(tx.BW.Hz(), e.NoiseFigureDB)
+	return eirp - e.Model.PathLossDB(d) - noise
+}

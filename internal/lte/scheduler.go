@@ -1,0 +1,155 @@
+package lte
+
+import "math"
+
+// MAC scheduling. Every downlink subframe the eNodeB assigns each
+// schedulable subchannel (resource-block group) to at most one client.
+// CellFi does not modify the scheduler: the interference-management
+// component only restricts the *set* of subchannels handed to it
+// (Section 4.3), and the scheduler remains free to place any client in
+// any permitted subchannel.
+
+// SchedUE is a scheduler's view of one connected client.
+type SchedUE struct {
+	ID int
+	// BacklogBits is the queued downlink data.
+	BacklogBits int64
+	// SubbandCQI is the latest per-subchannel CQI report (len =
+	// subchannel count). Missing reports should be filled with the
+	// wideband value.
+	SubbandCQI []int
+	// avgRate is the proportional-fair EWMA throughput in bits per
+	// subframe. Managed by the scheduler.
+	avgRate float64
+}
+
+// Allocation maps subchannel index -> scheduled UE id for one subframe.
+type Allocation map[int]int
+
+// Scheduler assigns allowed subchannels to clients each downlink
+// subframe and returns the allocation plus the bits served per UE id.
+type Scheduler interface {
+	// Allocate may assume every UE's SubbandCQI covers every
+	// subchannel in allowed. It must drain BacklogBits of scheduled
+	// UEs by the amount served.
+	Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// backlogged filters UEs with data.
+func backlogged(ues []*SchedUE) []*SchedUE {
+	out := ues[:0:0]
+	for _, u := range ues {
+		if u.BacklogBits > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// serve grants subchannel sc of bw to u and returns the bits served.
+func serve(bw Bandwidth, sc int, u *SchedUE) int64 {
+	cqi := 0
+	if sc < len(u.SubbandCQI) {
+		cqi = u.SubbandCQI[sc]
+	}
+	bits := int64(TransportBlockBits(cqi, bw.SubchannelRBs(sc)))
+	if bits > u.BacklogBits {
+		bits = u.BacklogBits
+	}
+	u.BacklogBits -= bits
+	return bits
+}
+
+// RoundRobin cycles through backlogged clients, one subchannel at a
+// time, regardless of channel quality.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Allocate implements Scheduler.
+func (r *RoundRobin) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64) {
+	alloc := make(Allocation)
+	served := make(map[int]int64)
+	for _, sc := range allowed {
+		cands := backlogged(ues)
+		if len(cands) == 0 {
+			break
+		}
+		u := cands[r.next%len(cands)]
+		r.next++
+		bits := serve(bw, sc, u)
+		if bits == 0 {
+			continue
+		}
+		alloc[sc] = u.ID
+		served[u.ID] += bits
+	}
+	return alloc, served
+}
+
+// ProportionalFair maximizes sum log-throughput: each subchannel goes
+// to the client with the highest instantaneous-rate / average-rate
+// ratio, exploiting multi-user diversity across sub-bands (the standard
+// LTE policy).
+type ProportionalFair struct {
+	// Beta is the EWMA forgetting factor; the conventional 1/1000
+	// (per subframe) by default.
+	Beta float64
+}
+
+// Name implements Scheduler.
+func (p *ProportionalFair) Name() string { return "proportional-fair" }
+
+// Allocate implements Scheduler.
+func (p *ProportionalFair) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64) {
+	beta := p.Beta
+	if beta == 0 {
+		beta = 1.0 / 1000
+	}
+	alloc := make(Allocation)
+	served := make(map[int]int64)
+	for _, sc := range allowed {
+		var best *SchedUE
+		bestMetric := math.Inf(-1)
+		for _, u := range ues {
+			if u.BacklogBits <= 0 {
+				continue
+			}
+			cqi := 0
+			if sc < len(u.SubbandCQI) {
+				cqi = u.SubbandCQI[sc]
+			}
+			rate := float64(TransportBlockBits(cqi, bw.SubchannelRBs(sc)))
+			if rate == 0 {
+				continue
+			}
+			avg := u.avgRate
+			if avg < 1 {
+				avg = 1 // new clients get immediate priority
+			}
+			if m := rate / avg; m > bestMetric {
+				bestMetric = m
+				best = u
+			}
+		}
+		if best == nil {
+			continue
+		}
+		bits := serve(bw, sc, best)
+		if bits == 0 {
+			continue
+		}
+		alloc[sc] = best.ID
+		served[best.ID] += bits
+	}
+	// EWMA update for every client, scheduled or not.
+	for _, u := range ues {
+		u.avgRate = (1-beta)*u.avgRate + beta*float64(served[u.ID])
+	}
+	return alloc, served
+}

@@ -1,0 +1,122 @@
+package netgraph
+
+// Exact multi-colouring by backtracking, for small graphs. The
+// centralized oracle uses greedy colouring, which is fast but not
+// optimal; this exact solver provides a ground-truth reference so
+// tests can bound how much the greedy heuristic leaves on the table.
+
+// ExactColorable reports whether the demands can be met with m
+// subchannels, searching exhaustively with pruning. Exponential in the
+// worst case: intended for n <= ~12 in tests and validation runs.
+func (g *Graph) ExactColorable(m int) (Assignment, bool) {
+	n := g.n
+	// Order vertices by descending neighbourhood demand (most
+	// constrained first) for effective pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && g.NeighborhoodDemand(order[j]) > g.NeighborhoodDemand(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([][]int, n)
+	// blocked[v] tracks, per vertex, how many of its neighbours hold
+	// each subchannel.
+	blocked := make([][]int, n)
+	for i := range blocked {
+		blocked[i] = make([]int, m)
+	}
+
+	var place func(idx int) bool
+	place = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		v := order[idx]
+		d := g.Demand[v]
+		if d == 0 {
+			return place(idx + 1)
+		}
+		// Candidate subchannels: not held by any neighbour.
+		var free []int
+		for c := 0; c < m; c++ {
+			if blocked[v][c] == 0 {
+				free = append(free, c)
+			}
+		}
+		if len(free) < d {
+			return false
+		}
+		// Enumerate d-subsets of free in lexicographic order.
+		subset := make([]int, d)
+		var choose func(start, k int) bool
+		choose = func(start, k int) bool {
+			if k == d {
+				assign[v] = append([]int(nil), subset...)
+				for _, c := range subset {
+					for _, u := range g.Neighbors(v) {
+						blocked[u][c]++
+					}
+				}
+				if place(idx + 1) {
+					return true
+				}
+				for _, c := range subset {
+					for _, u := range g.Neighbors(v) {
+						blocked[u][c]--
+					}
+				}
+				assign[v] = nil
+				return false
+			}
+			// Prune: not enough candidates left.
+			for i := start; i <= len(free)-(d-k); i++ {
+				subset[k] = free[i]
+				if choose(i+1, k+1) {
+					return true
+				}
+			}
+			return false
+		}
+		return choose(0, 0)
+	}
+
+	if !place(0) {
+		return nil, false
+	}
+	out := make(Assignment, n)
+	for v := range out {
+		out[v] = assign[v]
+		if out[v] == nil {
+			out[v] = []int{}
+		}
+	}
+	return out, true
+}
+
+// MinSubchannels returns the smallest m for which the demands are
+// exactly satisfiable — the multi-chromatic number of the demand
+// graph. Exponential; small graphs only.
+func (g *Graph) MinSubchannels(maxM int) (int, bool) {
+	// Lower bound: no vertex can hold more subchannels than exist,
+	// and two adjacent vertices need the sum of their demands.
+	lo := 0
+	for v := 0; v < g.n; v++ {
+		if g.Demand[v] > lo {
+			lo = g.Demand[v]
+		}
+		for _, u := range g.Neighbors(v) {
+			if s := g.Demand[v] + g.Demand[u]; s > lo {
+				lo = s
+			}
+		}
+	}
+	for m := lo; m <= maxM; m++ {
+		if _, ok := g.ExactColorable(m); ok {
+			return m, true
+		}
+	}
+	return 0, false
+}

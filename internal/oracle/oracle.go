@@ -1,0 +1,81 @@
+// Package oracle implements the centralized, oracle-based subchannel
+// allocation CellFi is compared against in Figure 9(b) — a stand-in for
+// FERMI [20]: a controller with perfect knowledge of the interference
+// graph computes a conflict-free allocation meeting per-AP demands,
+// scaling demands down max-min fairly when the graph cannot fit them.
+package oracle
+
+import (
+	"cellfi/internal/netgraph"
+)
+
+// Allocate computes a conflict-free subchannel assignment on the true
+// interference graph g with m subchannels. Demands are taken from
+// g.Demand; when some neighbourhood over-subscribes the channel, all
+// demands in the graph are scaled down proportionally (preserving at
+// least one subchannel per non-zero demand) until the greedy colouring
+// succeeds. It returns the assignment and the effective demands used.
+func Allocate(g *netgraph.Graph, m int) (netgraph.Assignment, []int) {
+	n := g.Len()
+	orig := make([]int, n)
+	copy(orig, g.Demand)
+	defer copy(g.Demand, orig) // leave the caller's graph untouched
+
+	scale := 1.0
+	for iter := 0; iter < 64; iter++ {
+		for v := 0; v < n; v++ {
+			d := int(float64(orig[v]) * scale)
+			if orig[v] > 0 && d < 1 {
+				d = 1
+			}
+			if d > m {
+				d = m
+			}
+			g.Demand[v] = d
+		}
+		if a, ok := g.GreedyColor(m); ok {
+			eff := make([]int, n)
+			copy(eff, g.Demand)
+			return a, eff
+		}
+		scale *= 0.85
+	}
+	// Last resort: one subchannel per demanding vertex (feasible
+	// whenever m exceeds the maximum degree); if even that fails,
+	// shed the highest-degree demanding vertices until it colours.
+	for v := 0; v < n; v++ {
+		if orig[v] > 0 {
+			g.Demand[v] = 1
+		} else {
+			g.Demand[v] = 0
+		}
+	}
+	for {
+		if a, ok := g.GreedyColor(m); ok {
+			eff := make([]int, n)
+			copy(eff, g.Demand)
+			return a, eff
+		}
+		shed, deg := -1, -1
+		for v := 0; v < n; v++ {
+			if g.Demand[v] > 0 && g.Degree(v) > deg {
+				shed, deg = v, g.Degree(v)
+			}
+		}
+		if shed < 0 {
+			a, _ := g.GreedyColor(m)
+			eff := make([]int, n)
+			return a, eff
+		}
+		g.Demand[shed] = 0
+	}
+}
+
+// TotalAllocated sums the subchannels granted across vertices.
+func TotalAllocated(a netgraph.Assignment) int {
+	total := 0
+	for _, s := range a {
+		total += len(s)
+	}
+	return total
+}

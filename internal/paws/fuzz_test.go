@@ -1,0 +1,65 @@
+package paws
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cellfi/internal/spectrum"
+)
+
+// FuzzServerRobustness throws arbitrary bodies at the PAWS endpoint:
+// the server must never panic and must always answer with either an
+// HTTP error or a well-formed JSON-RPC envelope.
+func FuzzServerRobustness(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"jsonrpc":"2.0"}`,
+		`{"jsonrpc":"2.0","method":"spectrum.paws.init","params":{},"id":1}`,
+		`{"jsonrpc":"2.0","method":"spectrum.paws.getSpectrum","params":{"deviceDesc":{"serialNumber":"x"},"location":{"latitude":52.2,"longitude":0.12}},"id":2}`,
+		`{"jsonrpc":"1.0","method":"spectrum.paws.init","params":{},"id":3}`,
+		`{"jsonrpc":"2.0","method":"bogus","params":null,"id":4}`,
+		`{"jsonrpc":"2.0","method":"spectrum.paws.notifySpectrumUse","params":{"deviceDesc":{"serialNumber":"x"},"spectra":[{"channel":99}]},"id":5}`,
+		`[1,2,3]`,
+		`{"jsonrpc":"2.0","method":"spectrum.paws.init","params":"not-an-object","id":6}`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	reg := spectrum.NewRegistry(spectrum.EU)
+	srv := NewServer(reg)
+	srv.Now = func() time.Time { return time.Date(2017, 12, 12, 9, 0, 0, 0, time.UTC) }
+	hs := httptest.NewServer(srv)
+	f.Cleanup(hs.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(hs.URL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return // HTTP-level rejection is fine
+		}
+		var rr struct {
+			JSONRPC string          `json:"jsonrpc"`
+			Result  json.RawMessage `json:"result"`
+			Error   *RPCError       `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("non-JSON 200 response for body %q: %v", body, err)
+		}
+		if rr.JSONRPC != "2.0" {
+			t.Fatalf("response missing jsonrpc version for body %q", body)
+		}
+		if rr.Error == nil && rr.Result == nil {
+			t.Fatalf("response carries neither result nor error for body %q", body)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package paws
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cellfi/internal/spectrum"
+)
+
+// Server is a PAWS white-space database server. It wraps a
+// spectrum.Registry and serves the RFC 7545 JSON-RPC methods over HTTP.
+// It implements http.Handler.
+type Server struct {
+	mu       sync.Mutex
+	registry *spectrum.Registry
+	ruleset  RulesetInfo
+	// Now supplies the database's notion of time; simulations override
+	// it to drive virtual time. Defaults to time.Now.
+	Now func() time.Time
+	// registered remembers fixed-device registrations by serial.
+	registered map[string]RegisterReq
+	// useLog records spectrum-use notifications for inspection.
+	useLog []NotifyUseReq
+	// RequireRegistration rejects getSpectrum from unregistered FIXED
+	// devices (FCC behaviour); off by default for ETSI mode.
+	RequireRegistration bool
+}
+
+// NewServer returns a PAWS server over the given incumbent registry,
+// announcing an ETSI EN 301 598 ruleset (the one the paper's Nominet
+// database implements).
+func NewServer(reg *spectrum.Registry) *Server {
+	return &Server{
+		registry: reg,
+		ruleset: RulesetInfo{
+			Authority:          "gb",
+			RulesetID:          "ETSI-EN-301-598-2014",
+			MaxLocationChangeM: 50,
+			MaxPollingSecs:     3600,
+		},
+		Now:        time.Now,
+		registered: make(map[string]RegisterReq),
+	}
+}
+
+// Registry exposes the backing registry. Callers that mutate it while
+// the server is live should do so under Lock/Unlock.
+func (s *Server) Registry() *spectrum.Registry { return s.registry }
+
+// Lock and Unlock guard external registry mutation (e.g. an experiment
+// revoking a channel mid-run).
+func (s *Server) Lock()   { s.mu.Lock() }
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// UseNotifications returns a copy of the spectrum-use reports received.
+func (s *Server) UseNotifications() []NotifyUseReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NotifyUseReq, len(s.useLog))
+	copy(out, s.useLog)
+	return out
+}
+
+// ServeHTTP handles one JSON-RPC request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "paws: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "paws: read error", http.StatusBadRequest)
+		return
+	}
+	var req rpcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &RPCError{ErrCodeInvalidValue, "malformed JSON-RPC"}, ID: 0})
+		return
+	}
+	if req.JSONRPC != "2.0" {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &RPCError{ErrCodeVersion, "jsonrpc must be 2.0"}, ID: req.ID})
+		return
+	}
+
+	s.mu.Lock()
+	result, rpcErr := s.dispatch(req.Method, req.Params)
+	s.mu.Unlock()
+
+	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
+	if rpcErr != nil {
+		resp.Error = rpcErr
+	} else {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &RPCError{ErrCodeInvalidValue, "encode failure"}
+		} else {
+			resp.Result = raw
+		}
+	}
+	writeRPC(w, resp)
+}
+
+func writeRPC(w http.ResponseWriter, resp rpcResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) dispatch(method string, params json.RawMessage) (any, *RPCError) {
+	switch method {
+	case MethodInit:
+		var p InitReq
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, &RPCError{ErrCodeInvalidValue, "bad INIT_REQ"}
+		}
+		return s.handleInit(p)
+	case MethodRegister:
+		var p RegisterReq
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, &RPCError{ErrCodeInvalidValue, "bad REGISTRATION_REQ"}
+		}
+		return s.handleRegister(p)
+	case MethodGetSpectrum:
+		var p AvailSpectrumReq
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, &RPCError{ErrCodeInvalidValue, "bad AVAIL_SPECTRUM_REQ"}
+		}
+		return s.handleGetSpectrum(p)
+	case MethodNotifyUse:
+		var p NotifyUseReq
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, &RPCError{ErrCodeInvalidValue, "bad SPECTRUM_USE_NOTIFY"}
+		}
+		return s.handleNotifyUse(p)
+	default:
+		return nil, &RPCError{ErrCodeUnsupported, fmt.Sprintf("unsupported method %q", method)}
+	}
+}
+
+func (s *Server) handleInit(p InitReq) (any, *RPCError) {
+	if p.DeviceDesc.SerialNumber == "" {
+		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
+	}
+	return InitResp{RulesetInfos: []RulesetInfo{s.ruleset}}, nil
+}
+
+func (s *Server) handleRegister(p RegisterReq) (any, *RPCError) {
+	if p.DeviceDesc.SerialNumber == "" {
+		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
+	}
+	s.registered[p.DeviceDesc.SerialNumber] = p
+	return RegisterResp{RulesetInfos: []RulesetInfo{s.ruleset}}, nil
+}
+
+func (s *Server) handleGetSpectrum(p AvailSpectrumReq) (any, *RPCError) {
+	if p.DeviceDesc.SerialNumber == "" {
+		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
+	}
+	if s.RequireRegistration && p.DeviceDesc.DeviceType == "FIXED" {
+		if _, ok := s.registered[p.DeviceDesc.SerialNumber]; !ok {
+			return nil, &RPCError{ErrCodeNotRegistered, "fixed device must register first"}
+		}
+	}
+	loc := FromGeo(p.Location)
+	now := s.Now()
+	avail := s.registry.AvailableAt(loc, now)
+
+	// Validity window: until the earliest lease expiry in the answer
+	// (they are uniform today, but keep the min for safety).
+	stop := now.Add(s.registry.LeaseDuration)
+	for _, ci := range avail {
+		if ci.Until.Before(stop) {
+			stop = ci.Until
+		}
+	}
+	spectra := make([]FrequencyRange, 0, len(avail))
+	for _, ci := range avail {
+		spectra = append(spectra, FrequencyRange{
+			StartHz:    ci.CenterFreqHz - ci.WidthHz/2,
+			StopHz:     ci.CenterFreqHz + ci.WidthHz/2,
+			MaxEIRPdBm: ci.MaxEIRPdBm,
+			Channel:    ci.Channel,
+		})
+	}
+	return AvailSpectrumResp{
+		Timestamp:   now,
+		RulesetInfo: s.ruleset,
+		Schedules: []SpectrumSchedule{{
+			StartTime: now,
+			StopTime:  stop,
+			Spectra:   spectra,
+		}},
+		NeedsSpectrumReport: true,
+	}, nil
+}
+
+func (s *Server) handleNotifyUse(p NotifyUseReq) (any, *RPCError) {
+	if p.DeviceDesc.SerialNumber == "" {
+		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
+	}
+	// Validate the claimed use against current availability: a
+	// compliant device never reports spectrum it may not use.
+	loc := FromGeo(p.Location)
+	now := s.Now()
+	for _, fr := range p.Spectra {
+		if !s.registry.ChannelAvailable(fr.Channel, loc, now) {
+			return nil, &RPCError{ErrCodeInvalidValue,
+				fmt.Sprintf("channel %d not available at reported location", fr.Channel)}
+		}
+	}
+	s.useLog = append(s.useLog, p)
+	return NotifyUseResp{}, nil
+}

@@ -1,0 +1,265 @@
+// Package propagation models the radio environment for CellFi
+// simulations: log-distance path loss in the low-UHF TV band, log-normal
+// shadowing, block fast fading per subchannel, sector antennas, thermal
+// noise and SINR arithmetic.
+//
+// The default model is calibrated against the paper's outdoor drive test
+// (Section 3.1): with 36 dBm EIRP at the access point and a 20 dBm
+// client, LTE reaches about 1.3 km in an urban environment and delivers
+// at least 1 Mbps at more than 85% of measured locations.
+package propagation
+
+import (
+	"math"
+	"math/rand"
+
+	"cellfi/internal/geo"
+)
+
+// DB/milliwatt conversion helpers.
+
+// DBmToMW converts dBm to milliwatts.
+func DBmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MWToDBm converts milliwatts to dBm. Zero (or negative) power maps to
+// -infinity dBm.
+func MWToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// NoiseDBm returns the thermal noise floor for the given bandwidth and
+// receiver noise figure: -174 dBm/Hz + 10*log10(BW) + NF.
+func NoiseDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return -174 + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}
+
+// Model is a log-distance path-loss model with log-normal shadowing.
+// Shadowing is frozen per link (deterministic in the node pair), as in a
+// static outdoor deployment; fast fading is handled by Fading.
+type Model struct {
+	// Exponent is the path-loss exponent (3.8 default: urban, below-
+	// rooftop clients, calibrated to the paper's 1.3 km range).
+	Exponent float64
+	// RefLossDB is the loss at RefDist metres. The default 48 dB at
+	// 10 m corresponds to free-space loss at 600 MHz.
+	RefLossDB float64
+	RefDist   float64
+	// ShadowSigmaDB is the log-normal shadowing standard deviation.
+	ShadowSigmaDB float64
+	// Seed decorrelates shadowing across simulation trials.
+	Seed int64
+}
+
+// DefaultUrban returns the calibrated TV-band urban model used throughout
+// the evaluation.
+func DefaultUrban(seed int64) *Model {
+	return &Model{
+		Exponent:      3.8,
+		RefLossDB:     48,
+		RefDist:       10,
+		ShadowSigmaDB: 6,
+		Seed:          seed,
+	}
+}
+
+// IndoorShortRange returns a model for the 802.11ac comparison scenario
+// of Figure 2: worse propagation exponent but much shorter links, chosen
+// so the *received SNR distribution* matches the outdoor network, per
+// Section 3.2 of the paper.
+func IndoorShortRange(seed int64) *Model {
+	return &Model{
+		Exponent:      4.2,
+		RefLossDB:     47, // free space at 10 m, 5 GHz-ish band folded into exponent
+		RefDist:       10,
+		ShadowSigmaDB: 4,
+		Seed:          seed,
+	}
+}
+
+// PathLossDB returns the distance-dependent median path loss in dB.
+// Distances below RefDist clamp to RefLossDB.
+func (m *Model) PathLossDB(d float64) float64 {
+	if d <= m.RefDist {
+		return m.RefLossDB
+	}
+	return m.RefLossDB + 10*m.Exponent*math.Log10(d/m.RefDist)
+}
+
+// ShadowingDB returns the frozen shadowing term for the link a—b in dB.
+// It is symmetric (ShadowingDB(a,b) == ShadowingDB(b,a)) and
+// deterministic given the model seed.
+func (m *Model) ShadowingDB(a, b geo.Point) float64 {
+	if m.ShadowSigmaDB == 0 {
+		return 0
+	}
+	// Order the endpoints so the hash is symmetric.
+	ax, ay, bx, by := a.X, a.Y, b.X, b.Y
+	if ax > bx || (ax == bx && ay > by) {
+		ax, ay, bx, by = bx, by, ax, ay
+	}
+	h := hash64(m.Seed, math.Float64bits(ax), math.Float64bits(ay),
+		math.Float64bits(bx), math.Float64bits(by))
+	rng := rand.New(rand.NewSource(int64(h)))
+	return rng.NormFloat64() * m.ShadowSigmaDB
+}
+
+// LinkLossDB returns path loss plus shadowing for the link a—b.
+func (m *Model) LinkLossDB(a, b geo.Point) float64 {
+	return m.PathLossDB(a.Dist(b)) + m.ShadowingDB(a, b)
+}
+
+// hash64 is a small SplitMix64-style mixer over the inputs.
+func hash64(seed int64, vals ...uint64) uint64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		h ^= v
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// Antenna describes a transmit antenna. The zero value is an isotropic
+// 0 dBi antenna.
+type Antenna struct {
+	// GainDBi is the boresight gain.
+	GainDBi float64
+	// BeamwidthRad is the 3 dB sector width in radians; zero means
+	// omnidirectional.
+	BeamwidthRad float64
+	// BoresightRad is the pointing direction.
+	BoresightRad float64
+	// FrontToBackDB is the attenuation outside the main sector
+	// (applied fully beyond the beamwidth edge).
+	FrontToBackDB float64
+}
+
+// Sector returns the 120-degree, 6 dBi sector antenna used on the
+// paper's rooftop deployment (Section 6.1: Amphenol 7 dBi, ~120 degrees;
+// we fold cable losses into 6 dBi EIRP arithmetic).
+func Sector(boresightRad float64) Antenna {
+	return Antenna{
+		GainDBi:       6,
+		BeamwidthRad:  2 * math.Pi / 3,
+		BoresightRad:  boresightRad,
+		FrontToBackDB: 15,
+	}
+}
+
+// GainDB returns the antenna gain toward the given bearing.
+// Inside the half-beamwidth the full gain applies; beyond it the gain
+// rolls off linearly in angle down to GainDBi - FrontToBackDB.
+func (a Antenna) GainDB(bearingRad float64) float64 {
+	if a.BeamwidthRad == 0 {
+		return a.GainDBi
+	}
+	off := math.Abs(angleDiff(bearingRad, a.BoresightRad))
+	half := a.BeamwidthRad / 2
+	if off <= half {
+		return a.GainDBi
+	}
+	// Linear roll-off over one additional half-beamwidth.
+	frac := (off - half) / half
+	if frac > 1 {
+		frac = 1
+	}
+	return a.GainDBi - frac*a.FrontToBackDB
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Fading generates deterministic block fast fading per (link, subchannel,
+// time block). Fades are exponential in power (Rayleigh envelope),
+// independent across subchannels (frequency-selective) and across
+// coherence blocks (time-selective).
+type Fading struct {
+	// Seed decorrelates trials.
+	Seed int64
+	// BlockMS is the coherence time in milliseconds (default 100 ms —
+	// nomadic outdoor clients).
+	BlockMS int64
+	// Disabled turns fading off (0 dB always).
+	Disabled bool
+}
+
+// NewFading returns a fading process with 100 ms coherence blocks.
+func NewFading(seed int64) *Fading { return &Fading{Seed: seed, BlockMS: 100} }
+
+// GainDB returns the fading gain in dB for the directed link linkID on
+// the given subchannel during the coherence block containing tMS
+// (milliseconds of simulation time). Mean power gain is 1 (0 dB average
+// in the linear domain).
+func (f *Fading) GainDB(linkID uint64, subchannel int, tMS int64) float64 {
+	if f == nil || f.Disabled {
+		return 0
+	}
+	block := tMS / f.BlockMS
+	h := hash64(f.Seed, linkID, uint64(subchannel)+0x5bd1e995, uint64(block))
+	// Map the hash to (0,1], then to an Exponential(1) power gain.
+	u := (float64(h>>11) + 1) / (1 << 53)
+	p := -math.Log(u) // mean-1 exponential power
+	return 10 * math.Log10(p)
+}
+
+// LinkID builds a stable directed link identifier from two node IDs.
+func LinkID(from, to int) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// SINRdB combines a signal power with a set of interferer powers and a
+// noise floor, all in dBm, and returns the SINR in dB.
+func SINRdB(signalDBm float64, interfDBm []float64, noiseDBm float64) float64 {
+	den := DBmToMW(noiseDBm)
+	for _, i := range interfDBm {
+		den += DBmToMW(i)
+	}
+	return signalDBm - MWToDBm(den)
+}
+
+// SNRdB is SINRdB with no interferers.
+func SNRdB(signalDBm, noiseDBm float64) float64 { return signalDBm - noiseDBm }
+
+// HataUrbanModel returns a Model whose parameters follow the
+// Okumura-Hata urban formula (valid 150-1500 MHz — it covers the TV
+// band, unlike COST-231 which starts at 1500 MHz):
+//
+//	L = 69.55 + 26.16 log10(f) - 13.82 log10(hb) - a(hm)
+//	    + (44.9 - 6.55 log10(hb)) log10(d_km)
+//
+// with the small/medium-city mobile-antenna correction a(hm). Hata is
+// log-distance in d, so it maps exactly onto Model. At 600 MHz with a
+// 15 m base station and 1.5 m mobile it gives a 37.2 dB/decade slope
+// and 126 dB at 1 km — within 2 dB of DefaultUrban's calibrated 48 dB
+// @10 m + 38 dB/decade, an independent check on the drive-test
+// calibration.
+func HataUrbanModel(freqMHz, baseHeightM, mobileHeightM float64, seed int64) *Model {
+	logF := math.Log10(freqMHz)
+	logHb := math.Log10(baseHeightM)
+	aHm := (1.1*logF-0.7)*mobileHeightM - (1.56*logF - 0.8)
+	slope := 44.9 - 6.55*logHb // dB per decade of distance
+	at1km := 69.55 + 26.16*logF - 13.82*logHb - aHm
+	refDist := 10.0
+	// L(10 m) = L(1 km) + slope*log10(0.01).
+	refLoss := at1km + slope*math.Log10(refDist/1000)
+	return &Model{
+		Exponent:      slope / 10,
+		RefLossDB:     refLoss,
+		RefDist:       refDist,
+		ShadowSigmaDB: 6,
+		Seed:          seed,
+	}
+}

@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break), which keeps runs fully deterministic for a
+// given seed. All CellFi network simulations — the LTE subframe machinery,
+// the Wi-Fi CSMA state machines, traffic generators, and the CellFi
+// interference-management epoch loop — are driven by one Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+// It reuses time.Duration so callers can write 5*time.Millisecond.
+type Time = time.Duration
+
+// Event is a scheduled callback. The callback runs with the engine clock
+// set to the event's firing time.
+type Event struct {
+	at     Time
+	seq    uint64 // FIFO tie-break for equal timestamps
+	fn     func()
+	index  int // heap index; -1 once removed
+	dead   bool
+	engine *Engine
+}
+
+// At reports the virtual time the event fires (or fired) at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.index >= 0 {
+		heap.Remove(&e.engine.queue, e.index)
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// streams hands out decorrelated child RNGs; see RNG.
+	streamSeed int64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// streams all derive deterministically from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:        rand.New(rand.NewSource(seed)),
+		streamSeed: seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's primary random stream.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// NewStream returns an independent random stream derived from the engine
+// seed and the given label hash. Separate model components (fading,
+// traffic, hopping) should each own a stream so adding randomness to one
+// component does not perturb the others.
+func (e *Engine) NewStream(label string) *rand.Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(e.streamSeed ^ h))
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a model bug.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current virtual time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// after one period. It returns a Ticker that can be stopped. If offset
+// is nonzero the first firing happens after offset instead.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	return e.EveryAt(period, period, fn)
+}
+
+// EveryAt is Every with an explicit first-firing delay.
+func (e *Engine) EveryAt(first, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev = e.After(first, t.tick)
+	return t
+}
+
+// Ticker fires a callback periodically until stopped.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped us
+		t.ev = t.engine.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty, until is reached, or
+// Stop is called, whichever comes first. The clock is left at the last
+// processed event time, or at until if the horizon was hit. It returns
+// the number of events processed.
+func (e *Engine) Run(until Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll processes events until the queue is empty or Stop is called.
+// It returns the number of events processed. Use with care: a Ticker
+// keeps the queue non-empty forever.
+func (e *Engine) RunAll() int {
+	e.stopped = false
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of scheduled (not yet fired or cancelled)
+// events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

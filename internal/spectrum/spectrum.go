@@ -1,0 +1,251 @@
+// Package spectrum models the TV-white-space channel plan and incumbent
+// (primary-user) occupancy that the CellFi channel-selection component
+// must respect. It provides the regulatory channel grids for the US
+// (6 MHz channels) and EU/UK (8 MHz channels), incumbent registrations
+// with time schedules and protection areas, and availability queries of
+// the kind a PAWS database answers.
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cellfi/internal/geo"
+)
+
+// Domain selects a regulatory channel plan.
+type Domain int
+
+const (
+	// US: 6 MHz TV channels; white-space UHF channels 14..51.
+	US Domain = iota
+	// EU: 8 MHz TV channels in 470-790 MHz; channels 21..60
+	// (ETSI EN 301 598).
+	EU
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	if d == US {
+		return "US"
+	}
+	return "EU"
+}
+
+// ChannelWidthHz returns the TV channel bandwidth for the domain.
+func (d Domain) ChannelWidthHz() float64 {
+	if d == US {
+		return 6e6
+	}
+	return 8e6
+}
+
+// ChannelRange returns the first and last usable white-space UHF channel
+// numbers for the domain.
+func (d Domain) ChannelRange() (first, last int) {
+	if d == US {
+		return 14, 51
+	}
+	return 21, 60
+}
+
+// CenterFreqHz returns the centre frequency of TV channel ch.
+func (d Domain) CenterFreqHz(ch int) (float64, error) {
+	first, last := d.ChannelRange()
+	if ch < first || ch > last {
+		return 0, fmt.Errorf("spectrum: channel %d outside %s plan %d..%d", ch, d, first, last)
+	}
+	w := d.ChannelWidthHz()
+	var base float64
+	if d == US {
+		base = 470e6 // channel 14 lower edge
+	} else {
+		base = 470e6 // channel 21 lower edge
+	}
+	return base + float64(ch-first)*w + w/2, nil
+}
+
+// Channels lists all channel numbers in the domain plan.
+func (d Domain) Channels() []int {
+	first, last := d.ChannelRange()
+	chs := make([]int, 0, last-first+1)
+	for c := first; c <= last; c++ {
+		chs = append(chs, c)
+	}
+	return chs
+}
+
+// IncumbentKind distinguishes protected primary users.
+type IncumbentKind int
+
+const (
+	TVStation IncumbentKind = iota
+	WirelessMic
+)
+
+func (k IncumbentKind) String() string {
+	if k == TVStation {
+		return "tv-station"
+	}
+	return "wireless-mic"
+}
+
+// Incumbent is a registered primary user of a TV channel. A device
+// located within ProtectRadius of Location may not use Channel while the
+// incumbent's schedule is active. A zero To means "indefinitely".
+type Incumbent struct {
+	Kind          IncumbentKind
+	Channel       int
+	Location      geo.Point
+	ProtectRadius float64
+	From, To      time.Time
+}
+
+// ActiveAt reports whether the incumbent's schedule covers t.
+func (inc Incumbent) ActiveAt(t time.Time) bool {
+	if t.Before(inc.From) {
+		return false
+	}
+	return inc.To.IsZero() || t.Before(inc.To)
+}
+
+// Protects reports whether the incumbent blocks use of its channel at
+// location p and time t.
+func (inc Incumbent) Protects(p geo.Point, t time.Time) bool {
+	return inc.ActiveAt(t) && inc.Location.Dist(p) <= inc.ProtectRadius
+}
+
+// ChannelInfo describes one available channel in an availability answer.
+type ChannelInfo struct {
+	Channel      int
+	CenterFreqHz float64
+	WidthHz      float64
+	// MaxEIRPdBm is the regulatory power cap for this channel at the
+	// queried location.
+	MaxEIRPdBm float64
+	// Until is when the availability expires and must be re-queried.
+	Until time.Time
+}
+
+// Registry is the authoritative incumbent database backing a PAWS
+// server. It is not safe for concurrent mutation; the PAWS server
+// serializes access.
+type Registry struct {
+	Domain Domain
+	// DefaultMaxEIRPdBm is the power cap for fixed white-space
+	// devices (36 dBm EIRP under FCC rules, the figure the paper's
+	// deployment uses).
+	DefaultMaxEIRPdBm float64
+	// LeaseDuration is how long an availability answer stays valid.
+	LeaseDuration time.Duration
+	incumbents    []Incumbent
+}
+
+// NewRegistry returns a registry for the given domain with the FCC fixed
+// device power cap and 12-hour lease granularity (the paper notes
+// channel availability changes on the scale of hours and days).
+func NewRegistry(d Domain) *Registry {
+	return &Registry{
+		Domain:            d,
+		DefaultMaxEIRPdBm: 36,
+		LeaseDuration:     12 * time.Hour,
+	}
+}
+
+// AddIncumbent registers a primary user.
+func (r *Registry) AddIncumbent(inc Incumbent) error {
+	first, last := r.Domain.ChannelRange()
+	if inc.Channel < first || inc.Channel > last {
+		return fmt.Errorf("spectrum: incumbent channel %d outside %s plan", inc.Channel, r.Domain)
+	}
+	if inc.ProtectRadius < 0 {
+		return fmt.Errorf("spectrum: negative protection radius")
+	}
+	r.incumbents = append(r.incumbents, inc)
+	return nil
+}
+
+// RemoveIncumbents deletes all incumbents on the given channel and
+// returns how many were removed. (Used by tests and the Figure 6
+// experiment to "reintroduce" a channel.)
+func (r *Registry) RemoveIncumbents(channel int) int {
+	kept := r.incumbents[:0]
+	removed := 0
+	for _, inc := range r.incumbents {
+		if inc.Channel == channel {
+			removed++
+			continue
+		}
+		kept = append(kept, inc)
+	}
+	r.incumbents = kept
+	return removed
+}
+
+// Incumbents returns a copy of the registered incumbents.
+func (r *Registry) Incumbents() []Incumbent {
+	out := make([]Incumbent, len(r.incumbents))
+	copy(out, r.incumbents)
+	return out
+}
+
+// AvailableAt answers the regulatory question: which channels may a
+// secondary device at location p use at time t? Channels are returned in
+// ascending channel-number order.
+func (r *Registry) AvailableAt(p geo.Point, t time.Time) []ChannelInfo {
+	var out []ChannelInfo
+	for _, ch := range r.Domain.Channels() {
+		if r.blocked(ch, p, t) {
+			continue
+		}
+		f, err := r.Domain.CenterFreqHz(ch)
+		if err != nil {
+			continue
+		}
+		out = append(out, ChannelInfo{
+			Channel:      ch,
+			CenterFreqHz: f,
+			WidthHz:      r.Domain.ChannelWidthHz(),
+			MaxEIRPdBm:   r.DefaultMaxEIRPdBm,
+			Until:        t.Add(r.LeaseDuration),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// ChannelAvailable reports whether a single channel is usable at (p, t).
+func (r *Registry) ChannelAvailable(ch int, p geo.Point, t time.Time) bool {
+	first, last := r.Domain.ChannelRange()
+	if ch < first || ch > last {
+		return false
+	}
+	return !r.blocked(ch, p, t)
+}
+
+func (r *Registry) blocked(ch int, p geo.Point, t time.Time) bool {
+	for _, inc := range r.incumbents {
+		if inc.Channel == ch && inc.Protects(p, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContiguousRuns groups an availability answer into runs of adjacent
+// channels and returns, for each run, the first channel and the run
+// length. LTE needs 5/10/15/20 MHz of contiguous spectrum (Section 3.1),
+// so the channel selector prefers longer runs.
+func ContiguousRuns(avail []ChannelInfo) [][2]int {
+	var runs [][2]int
+	for i := 0; i < len(avail); {
+		j := i
+		for j+1 < len(avail) && avail[j+1].Channel == avail[j].Channel+1 {
+			j++
+		}
+		runs = append(runs, [2]int{avail[i].Channel, j - i + 1})
+		i = j + 1
+	}
+	return runs
+}

@@ -1,0 +1,273 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cellfi/internal/geo"
+)
+
+var t0 = time.Date(2017, 12, 12, 9, 0, 0, 0, time.UTC) // CoNEXT '17 week
+
+func TestDomainPlans(t *testing.T) {
+	if US.ChannelWidthHz() != 6e6 || EU.ChannelWidthHz() != 8e6 {
+		t.Fatal("channel widths wrong")
+	}
+	f, err := US.CenterFreqHz(14)
+	if err != nil || math.Abs(f-473e6) > 1 {
+		t.Errorf("US ch14 centre = %g (%v), want 473 MHz", f, err)
+	}
+	f, _ = US.CenterFreqHz(51)
+	if math.Abs(f-695e6) > 1 {
+		t.Errorf("US ch51 centre = %g, want 695 MHz", f)
+	}
+	f, err = EU.CenterFreqHz(21)
+	if err != nil || math.Abs(f-474e6) > 1 {
+		t.Errorf("EU ch21 centre = %g (%v), want 474 MHz", f, err)
+	}
+	// EU band tops out below 790 MHz (ETSI EN 301 598 scope).
+	f, _ = EU.CenterFreqHz(60)
+	if f+4e6 > 790e6+1 {
+		t.Errorf("EU ch60 upper edge %g exceeds 790 MHz", f+4e6)
+	}
+}
+
+func TestCenterFreqOutOfPlan(t *testing.T) {
+	if _, err := US.CenterFreqHz(13); err == nil {
+		t.Error("US channel 13 should be rejected")
+	}
+	if _, err := US.CenterFreqHz(52); err == nil {
+		t.Error("US channel 52 should be rejected")
+	}
+	if _, err := EU.CenterFreqHz(20); err == nil {
+		t.Error("EU channel 20 should be rejected")
+	}
+}
+
+func TestChannelsList(t *testing.T) {
+	chs := US.Channels()
+	if len(chs) != 38 || chs[0] != 14 || chs[len(chs)-1] != 51 {
+		t.Errorf("US plan has %d channels [%d..%d]", len(chs), chs[0], chs[len(chs)-1])
+	}
+	if got := len(EU.Channels()); got != 40 {
+		t.Errorf("EU plan has %d channels, want 40", got)
+	}
+}
+
+func TestChannelSpacingUniform(t *testing.T) {
+	f := func(ch uint8) bool {
+		c := 14 + int(ch)%37 // 14..50
+		f1, err1 := US.CenterFreqHz(c)
+		f2, err2 := US.CenterFreqHz(c + 1)
+		return err1 == nil && err2 == nil && math.Abs(f2-f1-6e6) < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncumbentSchedule(t *testing.T) {
+	inc := Incumbent{
+		Kind: WirelessMic, Channel: 30,
+		Location: geo.Point{X: 0, Y: 0}, ProtectRadius: 1000,
+		From: t0, To: t0.Add(2 * time.Hour),
+	}
+	if inc.ActiveAt(t0.Add(-time.Minute)) {
+		t.Error("active before schedule start")
+	}
+	if !inc.ActiveAt(t0) || !inc.ActiveAt(t0.Add(time.Hour)) {
+		t.Error("inactive during schedule")
+	}
+	if inc.ActiveAt(t0.Add(2 * time.Hour)) {
+		t.Error("active after schedule end")
+	}
+	// Indefinite incumbent.
+	tv := Incumbent{Kind: TVStation, Channel: 20, ProtectRadius: 50000, From: t0}
+	if !tv.ActiveAt(t0.Add(1000 * time.Hour)) {
+		t.Error("indefinite incumbent expired")
+	}
+}
+
+func TestIncumbentProtectionArea(t *testing.T) {
+	inc := Incumbent{Channel: 25, Location: geo.Point{X: 0, Y: 0}, ProtectRadius: 500, From: t0}
+	if !inc.Protects(geo.Point{X: 300, Y: 400}, t0) { // dist 500, boundary inclusive
+		t.Error("boundary point should be protected")
+	}
+	if inc.Protects(geo.Point{X: 300, Y: 401}, t0) {
+		t.Error("point outside radius should not be protected")
+	}
+}
+
+func TestRegistryAvailability(t *testing.T) {
+	r := NewRegistry(US)
+	p := geo.Point{X: 1000, Y: 1000}
+	all := r.AvailableAt(p, t0)
+	if len(all) != 38 {
+		t.Fatalf("empty registry offers %d channels, want 38", len(all))
+	}
+	for _, ci := range all {
+		if ci.MaxEIRPdBm != 36 {
+			t.Fatalf("channel %d cap %g dBm, want 36", ci.Channel, ci.MaxEIRPdBm)
+		}
+		if !ci.Until.After(t0) {
+			t.Fatalf("channel %d lease already expired", ci.Channel)
+		}
+	}
+
+	// Block channel 30 near p, channel 40 far away.
+	if err := r.AddIncumbent(Incumbent{Kind: TVStation, Channel: 30, Location: p, ProtectRadius: 5000, From: t0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddIncumbent(Incumbent{Kind: TVStation, Channel: 40, Location: geo.Point{X: 1e6, Y: 1e6}, ProtectRadius: 5000, From: t0}); err != nil {
+		t.Fatal(err)
+	}
+	avail := r.AvailableAt(p, t0)
+	if len(avail) != 37 {
+		t.Fatalf("got %d channels, want 37 (only ch30 blocked)", len(avail))
+	}
+	for _, ci := range avail {
+		if ci.Channel == 30 {
+			t.Fatal("blocked channel 30 still offered")
+		}
+	}
+	if !r.ChannelAvailable(40, p, t0) {
+		t.Error("distant incumbent should not block channel 40 here")
+	}
+	if r.ChannelAvailable(30, p, t0) {
+		t.Error("channel 30 should be blocked")
+	}
+}
+
+func TestRegistryTimeVaryingAvailability(t *testing.T) {
+	r := NewRegistry(EU)
+	p := geo.Point{}
+	// Mic event 14:00-16:00 on channel 38 — the Figure 6 scenario shape.
+	ev := Incumbent{Kind: WirelessMic, Channel: 38, Location: p, ProtectRadius: 2000,
+		From: t0.Add(5 * time.Hour), To: t0.Add(7 * time.Hour)}
+	if err := r.AddIncumbent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ChannelAvailable(38, p, t0) {
+		t.Error("channel should be free before the event")
+	}
+	if r.ChannelAvailable(38, p, t0.Add(6*time.Hour)) {
+		t.Error("channel should be blocked during the event")
+	}
+	if !r.ChannelAvailable(38, p, t0.Add(8*time.Hour)) {
+		t.Error("channel should be free after the event")
+	}
+}
+
+func TestRegistryRejectsBadIncumbents(t *testing.T) {
+	r := NewRegistry(US)
+	if err := r.AddIncumbent(Incumbent{Channel: 5}); err == nil {
+		t.Error("channel outside plan accepted")
+	}
+	if err := r.AddIncumbent(Incumbent{Channel: 20, ProtectRadius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestRemoveIncumbents(t *testing.T) {
+	r := NewRegistry(US)
+	p := geo.Point{}
+	for i := 0; i < 3; i++ {
+		if err := r.AddIncumbent(Incumbent{Channel: 22, Location: p, ProtectRadius: 1000, From: t0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddIncumbent(Incumbent{Channel: 23, Location: p, ProtectRadius: 1000, From: t0}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.RemoveIncumbents(22); n != 3 {
+		t.Fatalf("removed %d, want 3", n)
+	}
+	if !r.ChannelAvailable(22, p, t0) {
+		t.Error("channel 22 should be free after removal")
+	}
+	if r.ChannelAvailable(23, p, t0) {
+		t.Error("channel 23 should remain blocked")
+	}
+	if len(r.Incumbents()) != 1 {
+		t.Errorf("registry holds %d incumbents, want 1", len(r.Incumbents()))
+	}
+}
+
+func TestContiguousRuns(t *testing.T) {
+	mk := func(chs ...int) []ChannelInfo {
+		out := make([]ChannelInfo, len(chs))
+		for i, c := range chs {
+			out[i] = ChannelInfo{Channel: c}
+		}
+		return out
+	}
+	cases := []struct {
+		in   []ChannelInfo
+		want [][2]int
+	}{
+		{mk(), nil},
+		{mk(14), [][2]int{{14, 1}}},
+		{mk(14, 15, 16, 20, 21, 30), [][2]int{{14, 3}, {20, 2}, {30, 1}}},
+		{mk(40, 41, 42, 43), [][2]int{{40, 4}}},
+	}
+	for _, c := range cases {
+		got := ContiguousRuns(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("runs(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("runs(%v)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// Property: availability answers never include a channel any active
+// in-range incumbent occupies, and always include every other channel.
+func TestQuickAvailabilityComplete(t *testing.T) {
+	f := func(blockedIdx []uint8) bool {
+		r := NewRegistry(US)
+		p := geo.Point{X: 500, Y: 500}
+		blocked := map[int]bool{}
+		for _, b := range blockedIdx {
+			ch := 14 + int(b)%38
+			blocked[ch] = true
+			if err := r.AddIncumbent(Incumbent{Channel: ch, Location: p, ProtectRadius: 100, From: t0}); err != nil {
+				return false
+			}
+		}
+		avail := r.AvailableAt(p, t0)
+		seen := map[int]bool{}
+		for _, ci := range avail {
+			if blocked[ci.Channel] {
+				return false
+			}
+			seen[ci.Channel] = true
+		}
+		for _, ch := range US.Channels() {
+			if !blocked[ch] && !seen[ch] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAvailability(b *testing.B) {
+	r := NewRegistry(US)
+	p := geo.Point{X: 500, Y: 500}
+	for ch := 14; ch < 30; ch++ {
+		_ = r.AddIncumbent(Incumbent{Channel: ch, Location: p, ProtectRadius: 1000, From: t0})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.AvailableAt(p, t0)
+	}
+}

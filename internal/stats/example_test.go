@@ -1,0 +1,38 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"cellfi/internal/stats"
+)
+
+// An empirical CDF answers the evaluation's recurring questions:
+// medians, starvation fractions, tail quantiles.
+func ExampleCDF() {
+	th := []float64{0.01, 0.02, 0.2, 0.4, 0.5, 0.9, 1.4, 2.0}
+	c := stats.NewCDF(th)
+	fmt.Printf("median: %.2f Mbps\n", c.Median())
+	fmt.Printf("starved (<0.05): %.0f%%\n", c.FractionBelow(0.05)*100)
+	fmt.Printf("p90: %.2f Mbps\n", c.Quantile(0.9))
+	// Output:
+	// median: 0.45 Mbps
+	// starved (<0.05): 25%
+	// p90: 1.58 Mbps
+}
+
+// Tables render with aligned columns for paper-style rows.
+func ExampleTable() {
+	t := &stats.Table{
+		Title:   "Coverage",
+		Headers: []string{"System", "Connected"},
+	}
+	t.AddRow("CellFi", "85%")
+	t.AddRow("802.11af", "42%")
+	fmt.Print(t.String())
+	// Output:
+	// Coverage
+	// System    Connected
+	// --------  ---------
+	// CellFi    85%
+	// 802.11af  42%
+}

@@ -1,0 +1,466 @@
+package wifi
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/phy"
+	"cellfi/internal/propagation"
+	"cellfi/internal/sim"
+)
+
+// Network is one Wi-Fi collision domain: a set of APs and their
+// clients sharing a channel under CSMA/CA. All nodes hear each other
+// through the propagation model; carrier sensing, NAV, collisions,
+// hidden and exposed terminals all follow from received powers.
+type Network struct {
+	Params Params
+	eng    *sim.Engine
+	model  *propagation.Model
+	rng    *rand.Rand
+	nodes  []*Node
+	aps    []*Node
+	active []*transmission
+
+	// Drops counts aggregates abandoned after the retry limit.
+	Drops int
+	// stats accumulates MAC-level counters.
+	stats MACStats
+}
+
+// MACStats summarizes a run's MAC behaviour — the quantities behind
+// the paper's "Wi-Fi overheads severely limit its efficiency on long
+// range" argument.
+type MACStats struct {
+	// TXOPs counts completed data exchanges.
+	TXOPs int
+	// Failures counts failed attempts (RTS lost, data undecoded,
+	// out-of-range picks).
+	Failures int
+	// DataAirtime and ControlAirtime split time on the air between
+	// payload frames and RTS/CTS/ACK + preambles.
+	DataAirtime, ControlAirtime time.Duration
+	// DeliveredBits across all clients.
+	DeliveredBits int64
+}
+
+// CollisionRate returns failures over total attempts.
+func (s MACStats) CollisionRate() float64 {
+	total := s.TXOPs + s.Failures
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Failures) / float64(total)
+}
+
+// ControlOverhead returns the fraction of airtime spent on control
+// frames and preambles rather than data payloads.
+func (s MACStats) ControlOverhead() float64 {
+	total := s.DataAirtime + s.ControlAirtime
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ControlAirtime) / float64(total)
+}
+
+// Stats returns a copy of the accumulated MAC counters.
+func (n *Network) Stats() MACStats { return n.stats }
+
+// NewNetwork creates an empty network on the given engine and
+// propagation model.
+func NewNetwork(eng *sim.Engine, model *propagation.Model, params Params) *Network {
+	return &Network{
+		Params: params,
+		eng:    eng,
+		model:  model,
+		rng:    eng.NewStream("wifi:" + params.Name),
+	}
+}
+
+// Node is an AP or a client station.
+type Node struct {
+	ID         int
+	Pos        geo.Point
+	TxPowerDBm float64
+
+	net  *Network
+	isAP bool
+	// AP-side state.
+	clients   []*Node
+	queue     map[int]int64 // client ID -> backlogged bits
+	nextCli   int
+	delivered map[int]int64 // client ID -> delivered bits
+
+	// Contention state.
+	contending bool
+	inTX       bool
+	backoff    int
+	cw         int
+	retries    int
+	navUntil   sim.Time
+	slotEv     *sim.Event
+	deferEv    *sim.Event
+}
+
+// AddAP registers an access point.
+func (n *Network) AddAP(id int, pos geo.Point, txPowerDBm float64) *Node {
+	ap := &Node{
+		ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n, isAP: true,
+		queue:     make(map[int]int64),
+		delivered: make(map[int]int64),
+		cw:        n.Params.CWMin,
+	}
+	n.nodes = append(n.nodes, ap)
+	n.aps = append(n.aps, ap)
+	return ap
+}
+
+// AddClient attaches a client station to an AP.
+func (n *Network) AddClient(id int, pos geo.Point, txPowerDBm float64, ap *Node) *Node {
+	c := &Node{ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n}
+	n.nodes = append(n.nodes, c)
+	ap.clients = append(ap.clients, c)
+	return c
+}
+
+// APs returns the registered access points.
+func (n *Network) APs() []*Node { return n.aps }
+
+// Clients returns an AP's attached stations.
+func (ap *Node) Clients() []*Node { return ap.clients }
+
+// Enqueue adds downlink bits for a client and wakes the AP's MAC.
+func (ap *Node) Enqueue(client *Node, bits int64) {
+	if !ap.isAP {
+		panic("wifi: Enqueue on non-AP node")
+	}
+	ap.queue[client.ID] += bits
+	ap.tryStart()
+}
+
+// QueuedBits returns an AP's backlog toward one client.
+func (ap *Node) QueuedBits(client *Node) int64 { return ap.queue[client.ID] }
+
+// DeliveredBits returns the bits successfully delivered to a client.
+func (ap *Node) DeliveredBits(client *Node) int64 { return ap.delivered[client.ID] }
+
+// rxPowerDBm is the power node rx sees from node tx.
+func (n *Network) rxPowerDBm(tx, rx *Node) float64 {
+	return tx.TxPowerDBm - n.model.LinkLossDB(tx.Pos, rx.Pos)
+}
+
+// transmission is one frame in the air. interferers accumulates every
+// node whose transmission overlapped this frame at any point, so the
+// decode check at frame end cannot miss a short mid-frame collision.
+type transmission struct {
+	from        *Node
+	start, end  sim.Time
+	kind        string // "rts", "cts", "data", "ack"
+	interferers map[*Node]bool
+}
+
+func (n *Network) noiseDBm() float64 {
+	return propagation.NoiseDBm(n.Params.ChannelWidthHz, n.Params.NoiseFigureDB)
+}
+
+// busyAt reports whether node sees the medium busy: an unexpired NAV,
+// any single frame above the preamble-detection sensitivity, or raw
+// aggregate energy above the (much higher) energy-detect threshold.
+func (n *Network) busyAt(node *Node) bool {
+	now := n.eng.Now()
+	if now < node.navUntil {
+		return true
+	}
+	den := 0.0
+	for _, t := range n.active {
+		if t.from == node {
+			return true // transmitting counts as busy
+		}
+		p := n.rxPowerDBm(t.from, node)
+		if p >= n.Params.CSThresholdDBm {
+			return true
+		}
+		den += propagation.DBmToMW(p)
+	}
+	return den > 0 && propagation.MWToDBm(den) >= n.Params.EnergyDetectDBm
+}
+
+// sinrOf returns the SINR of transmission t at receiver rx, counting
+// every transmission that overlapped t (fully, as CSMA collisions
+// typically do) as interference.
+func (n *Network) sinrOf(t *transmission, rx *Node) float64 {
+	signal := n.rxPowerDBm(t.from, rx)
+	den := propagation.DBmToMW(n.noiseDBm())
+	for from := range t.interferers {
+		if from == rx {
+			continue
+		}
+		den += propagation.DBmToMW(n.rxPowerDBm(from, rx))
+	}
+	return signal - propagation.MWToDBm(den)
+}
+
+// beginTX registers a frame in the air, notifies every node (carrier
+// sense state may have changed), and schedules its end. Overlap with
+// every concurrently active frame is recorded symmetrically.
+func (n *Network) beginTX(from *Node, d time.Duration, kind string) *transmission {
+	t := &transmission{
+		from: from, start: n.eng.Now(), end: n.eng.Now() + d, kind: kind,
+		interferers: make(map[*Node]bool),
+	}
+	if kind == "data" {
+		// The payload portion counts as data; the preamble as control.
+		n.stats.DataAirtime += d - n.Params.PreambleDur
+		n.stats.ControlAirtime += n.Params.PreambleDur
+	} else {
+		n.stats.ControlAirtime += d
+	}
+	for _, a := range n.active {
+		t.interferers[a.from] = true
+		a.interferers[from] = true
+	}
+	n.active = append(n.active, t)
+	n.notifyMediumChange()
+	n.eng.After(d, func() {
+		for i, a := range n.active {
+			if a == t {
+				n.active = append(n.active[:i], n.active[i+1:]...)
+				break
+			}
+		}
+		n.notifyMediumChange()
+	})
+	return t
+}
+
+// notifyMediumChange pokes idle APs so they can re-evaluate contention.
+func (n *Network) notifyMediumChange() {
+	for _, ap := range n.aps {
+		if ap.contending && !ap.inTX {
+			ap.reschedule()
+		}
+	}
+}
+
+// setNAVFromExchange makes third-party nodes that can decode an RTS/CTS
+// defer until the exchange would complete.
+func (n *Network) setNAVFromExchange(initiator, responder *Node, until sim.Time) {
+	for _, node := range n.nodes {
+		if node == initiator || node == responder {
+			continue
+		}
+		heard := n.rxPowerDBm(initiator, node) >= n.Params.CSThresholdDBm ||
+			n.rxPowerDBm(responder, node) >= n.Params.CSThresholdDBm
+		if heard && until > node.navUntil {
+			node.navUntil = until
+		}
+	}
+}
+
+// hasData reports whether any client has queued traffic, without
+// touching the round-robin cursor.
+func (ap *Node) hasData() bool {
+	for _, c := range ap.clients {
+		if ap.queue[c.ID] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tryStart enters contention if the AP has data and is not already
+// contending or transmitting.
+func (ap *Node) tryStart() {
+	if !ap.isAP || ap.contending || ap.inTX {
+		return
+	}
+	if !ap.hasData() {
+		return
+	}
+	ap.contending = true
+	ap.backoff = ap.net.rng.Intn(ap.cw + 1)
+	ap.reschedule()
+}
+
+// reschedule (re)arms the defer/backoff machinery after any medium
+// state change.
+func (ap *Node) reschedule() {
+	if ap.slotEv != nil {
+		ap.slotEv.Cancel()
+		ap.slotEv = nil
+	}
+	if ap.deferEv != nil {
+		ap.deferEv.Cancel()
+		ap.deferEv = nil
+	}
+	if !ap.contending || ap.inTX {
+		return
+	}
+	n := ap.net
+	if n.busyAt(ap) {
+		// Wait for the next medium change (or NAV expiry).
+		if wait := ap.navUntil - n.eng.Now(); wait > 0 {
+			ap.deferEv = n.eng.After(wait, ap.reschedule)
+		}
+		return
+	}
+	// Idle: wait DIFS then count down slots.
+	ap.deferEv = n.eng.After(n.Params.DIFS, ap.slotTick)
+}
+
+// slotTick consumes one backoff slot while the medium stays idle.
+func (ap *Node) slotTick() {
+	n := ap.net
+	if n.busyAt(ap) {
+		ap.reschedule()
+		return
+	}
+	if ap.backoff > 0 {
+		ap.backoff--
+		ap.slotEv = n.eng.After(n.Params.SlotTime, ap.slotTick)
+		return
+	}
+	ap.startExchange()
+}
+
+// pickClient round-robins over clients with queued data.
+func (ap *Node) pickClient() (*Node, bool) {
+	if len(ap.clients) == 0 {
+		return nil, false
+	}
+	for i := 0; i < len(ap.clients); i++ {
+		c := ap.clients[(ap.nextCli+i)%len(ap.clients)]
+		if ap.queue[c.ID] > 0 {
+			ap.nextCli = (ap.nextCli + i + 1) % len(ap.clients)
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// startExchange runs one TXOP: optional RTS/CTS, then an aggregated
+// data frame and its block-ack.
+func (ap *Node) startExchange() {
+	n := ap.net
+	client, ok := ap.pickClient()
+	if !ok {
+		ap.contending = false
+		return
+	}
+	ap.inTX = true
+
+	// Ideal rate adaptation from the client's long-term SNR, backed
+	// off by the configured link margin.
+	snr := n.rxPowerDBm(ap, client) - n.noiseDBm()
+	mcs, decodable := phy.WiFiMCSFromSINR(snr - n.Params.LinkMarginDB)
+	if !decodable {
+		// Out of range: burn a minimal attempt so the failure has a
+		// cost, then count it against the retry budget.
+		ap.inTX = false
+		ap.failure()
+		return
+	}
+
+	budget := n.Params.MaxTXDuration
+	payloadBytes := n.Params.MaxPayloadForDuration(budget, mcs)
+	if q := ap.queue[client.ID] / 8; int64(payloadBytes) > q {
+		payloadBytes = int(q)
+	}
+	dataDur := n.Params.FrameDuration(payloadBytes, mcs)
+
+	finishData := func() {
+		dataTX := n.beginTX(ap, dataDur, "data")
+		n.eng.After(dataDur, func() {
+			if n.sinrOf(dataTX, client) >= mcs.MinSINRdB {
+				// Block-ack after SIFS at basic rate.
+				ackDur := n.Params.ControlDuration(ackBytes)
+				n.eng.After(n.Params.SIFS, func() {
+					n.beginTX(client, ackDur, "ack")
+					n.eng.After(ackDur, func() {
+						ap.success(client, int64(payloadBytes)*8)
+					})
+				})
+			} else {
+				ap.inTX = false
+				ap.failure()
+			}
+		})
+	}
+
+	if !n.Params.RTSCTS {
+		finishData()
+		return
+	}
+
+	rtsDur := n.Params.ControlDuration(rtsBytes)
+	ctsDur := n.Params.ControlDuration(ctsBytes)
+	exchangeEnd := n.eng.Now() + rtsDur + n.Params.SIFS + ctsDur +
+		n.Params.SIFS + dataDur + n.Params.SIFS + n.Params.ControlDuration(ackBytes)
+
+	rtsTX := n.beginTX(ap, rtsDur, "rts")
+	n.eng.After(rtsDur, func() {
+		if n.sinrOf(rtsTX, client) >= phy.WiFiMCS(0).MinSINRdB {
+			n.setNAVFromExchange(ap, client, exchangeEnd)
+			n.eng.After(n.Params.SIFS, func() {
+				n.beginTX(client, ctsDur, "cts")
+				n.eng.After(ctsDur, func() {
+					n.setNAVFromExchange(ap, client, exchangeEnd)
+					n.eng.After(n.Params.SIFS, finishData)
+				})
+			})
+		} else {
+			// RTS collided or client out of range: back off.
+			ap.inTX = false
+			ap.failure()
+		}
+	})
+}
+
+// success completes a TXOP: credit delivery, reset contention state.
+func (ap *Node) success(client *Node, bits int64) {
+	ap.queue[client.ID] -= bits
+	if ap.queue[client.ID] < 0 {
+		ap.queue[client.ID] = 0
+	}
+	ap.delivered[client.ID] += bits
+	ap.net.stats.TXOPs++
+	ap.net.stats.DeliveredBits += bits
+	ap.inTX = false
+	ap.contending = false
+	ap.retries = 0
+	ap.cw = ap.net.Params.CWMin
+	ap.tryStart()
+}
+
+// failure handles a failed attempt: exponential backoff, drop after the
+// retry limit.
+func (ap *Node) failure() {
+	ap.net.stats.Failures++
+	ap.retries++
+	if ap.retries > ap.net.Params.RetryLimit {
+		// Abandon this aggregate; for backlogged queues the traffic
+		// source keeps the queue full, so this surfaces as lost
+		// airtime, i.e. starvation.
+		ap.net.Drops++
+		ap.retries = 0
+		ap.cw = ap.net.Params.CWMin
+	} else {
+		ap.cw = ap.cw*2 + 1
+		if ap.cw > ap.net.Params.CWMax {
+			ap.cw = ap.net.Params.CWMax
+		}
+	}
+	ap.contending = false
+	ap.tryStart()
+}
+
+// String describes a node for logs.
+func (no *Node) String() string {
+	kind := "sta"
+	if no.isAP {
+		kind = "ap"
+	}
+	return fmt.Sprintf("%s%d@%s", kind, no.ID, no.Pos)
+}

@@ -1,0 +1,162 @@
+// Package wifi implements the 802.11af/802.11ac baseline CellFi is
+// compared against: a slotted CSMA/CA MAC with binary exponential
+// backoff, RTS/CTS with NAV, MPDU aggregation and ideal SINR-based rate
+// adaptation, driven by the shared discrete-event engine and propagation
+// model. Hidden and exposed terminals emerge from carrier sensing over
+// real path loss, which is exactly the long-range failure mode Section
+// 3.2 of the paper demonstrates.
+package wifi
+
+import (
+	"time"
+
+	"cellfi/internal/phy"
+)
+
+// Params collects the PHY/MAC timing constants of one 802.11 flavour.
+type Params struct {
+	Name string
+	// ChannelWidthHz is the occupied bandwidth (6 MHz for 802.11af in
+	// US TV channels, 20 MHz for 802.11ac; the Figure 2 experiment
+	// runs both at 20 MHz).
+	ChannelWidthHz float64
+	// SlotTime, SIFS, DIFS are the usual CSMA intervals.
+	SlotTime, SIFS, DIFS time.Duration
+	// CWMin and CWMax bound the contention window (in slots).
+	CWMin, CWMax int
+	// CSThresholdDBm is the preamble-detection carrier-sense level:
+	// 802.11 defers on any single decodable frame, so this sits at
+	// the MCS 0 decode sensitivity (noise floor + ~2 dB).
+	CSThresholdDBm float64
+	// EnergyDetectDBm is the threshold at which raw aggregate energy
+	// (undecodable interference) marks the medium busy (-62 dBm for
+	// 20 MHz in the standard).
+	EnergyDetectDBm float64
+	// PreambleDur is the PHY preamble+header duration prefixed to
+	// every frame.
+	PreambleDur time.Duration
+	// BasicRateBps carries control frames (RTS/CTS/ACK).
+	BasicRateBps float64
+	// MaxAggregateBytes caps one A-MPDU (the paper: 65 KB).
+	MaxAggregateBytes int
+	// MaxTXDuration caps one transmission opportunity (802.11af
+	// limits transmissions to about 4 ms; aggregation is trimmed to
+	// fit).
+	MaxTXDuration time.Duration
+	// RTSCTS enables the RTS/CTS exchange (on in the paper's runs).
+	RTSCTS bool
+	// RetryLimit is the number of attempts before a frame is dropped.
+	RetryLimit int
+	// NoiseFigureDB at receivers.
+	NoiseFigureDB float64
+	// LinkMarginDB backs the selected MCS off the instantaneous SNR,
+	// as every real rate-control loop does: without it, ambient
+	// interference fractions of a dB above the noise floor would fail
+	// every frame sent at the zero-margin "ideal" rate.
+	LinkMarginDB float64
+}
+
+// sizes of control frames in bytes.
+const (
+	rtsBytes = 20
+	ctsBytes = 14
+	ackBytes = 32 // block ack
+)
+
+// Params11ac20 returns 802.11ac timing on a 20 MHz channel — the
+// short-range home-Wi-Fi configuration of Figure 2.
+func Params11ac20() Params {
+	return Params{
+		Name:              "802.11ac-20MHz",
+		ChannelWidthHz:    20e6,
+		SlotTime:          9 * time.Microsecond,
+		SIFS:              16 * time.Microsecond,
+		DIFS:              34 * time.Microsecond,
+		CWMin:             15,
+		CWMax:             1023,
+		CSThresholdDBm:    -92,
+		EnergyDetectDBm:   -62,
+		PreambleDur:       40 * time.Microsecond,
+		BasicRateBps:      6e6,
+		MaxAggregateBytes: 65 * 1024,
+		MaxTXDuration:     4 * time.Millisecond,
+		RTSCTS:            true,
+		RetryLimit:        7,
+		NoiseFigureDB:     7,
+		LinkMarginDB:      3,
+	}
+}
+
+// Params11af returns 802.11af timing. The standard down-clocks the
+// 802.11ac design onto TV channels, which stretches symbols (and thus
+// the preamble) roughly 4x on a 6 MHz channel, and long outdoor links
+// inflate the slot time to cover round-trip propagation guard.
+func Params11af() Params {
+	return Params{
+		Name:              "802.11af-6MHz",
+		ChannelWidthHz:    6e6,
+		SlotTime:          20 * time.Microsecond,
+		SIFS:              32 * time.Microsecond,
+		DIFS:              72 * time.Microsecond,
+		CWMin:             15,
+		CWMax:             1023,
+		CSThresholdDBm:    -97, // narrower channel, lower noise floor
+		EnergyDetectDBm:   -67,
+		PreambleDur:       160 * time.Microsecond,
+		BasicRateBps:      1.5e6,
+		MaxAggregateBytes: 65 * 1024,
+		MaxTXDuration:     4 * time.Millisecond,
+		RTSCTS:            true,
+		RetryLimit:        7,
+		NoiseFigureDB:     7,
+		LinkMarginDB:      3,
+	}
+}
+
+// Params11af20 returns the paper's Figure 2 variant: 802.11af MAC
+// behaviour on a 20 MHz (aggregated TV channel) bandwidth, so only the
+// range/topology differs from 802.11ac.
+func Params11af20() Params {
+	p := Params11af()
+	p.Name = "802.11af-20MHz"
+	p.ChannelWidthHz = 20e6
+	p.CSThresholdDBm = -92
+	p.EnergyDetectDBm = -62
+	p.BasicRateBps = 6e6
+	return p
+}
+
+// DataRateBps returns the PHY rate of an MCS on this channel width:
+// spectral efficiency times bandwidth times a 0.65 OFDM utilization
+// factor (data subcarriers, guard intervals, pilots). At 20 MHz this
+// lands MCS 7 at ~65 Mbps, matching 802.11ac single-stream rates.
+func (p Params) DataRateBps(m phy.MCS) float64 {
+	return m.Efficiency * 0.65 * p.ChannelWidthHz
+}
+
+// FrameDuration returns the airtime of payload bytes at the given MCS,
+// including the preamble.
+func (p Params) FrameDuration(bytes int, m phy.MCS) time.Duration {
+	bits := float64(bytes * 8)
+	return p.PreambleDur + time.Duration(bits/p.DataRateBps(m)*float64(time.Second))
+}
+
+// ControlDuration returns the airtime of a control frame at basic rate.
+func (p Params) ControlDuration(bytes int) time.Duration {
+	bits := float64(bytes * 8)
+	return p.PreambleDur + time.Duration(bits/p.BasicRateBps*float64(time.Second))
+}
+
+// MaxPayloadForDuration returns the largest payload (bytes) whose frame
+// fits in the given airtime at the given MCS, capped by the A-MPDU
+// limit.
+func (p Params) MaxPayloadForDuration(d time.Duration, m phy.MCS) int {
+	if d <= p.PreambleDur {
+		return 0
+	}
+	bytes := int(p.DataRateBps(m) * (d - p.PreambleDur).Seconds() / 8)
+	if bytes > p.MaxAggregateBytes {
+		bytes = p.MaxAggregateBytes
+	}
+	return bytes
+}
