@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test verify bench sweep experiments fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the fast correctness gate: static analysis, a full build,
+# and the race detector over the concurrency-bearing packages.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/sim ./internal/runner
+
+# Regenerate the committed runner speedup artifact.
+BENCH_runner.json: FORCE
+	RUNNER_BENCH_OUT=$(CURDIR)/BENCH_runner.json $(GO) test -run TestCampaignSpeedup -count 1 ./internal/runner
+
+FORCE:
+
+sweep:
+	$(GO) run ./cmd/cellfi-sweep
+
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+fmt:
+	gofmt -w $$(find . -name '*.go' -not -path './.git/*')

@@ -7,15 +7,22 @@
 //	cellfi-sim [-scheme cellfi|lte|oracle] [-aps 14] [-clients 6]
 //	           [-epochs 30] [-seed 1] [-area 2000]
 //	           [-no-packing] [-perfect-sensing] [-lambda 10]
+//	           [-trials 1] [-workers N]
+//
+// With -trials > 1 the scenario repeats over independently seeded
+// topologies, fanned across -workers goroutines; per-trial summaries
+// print in trial order regardless of scheduling.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
 
 	"cellfi/internal/netsim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 )
@@ -30,6 +37,8 @@ func main() {
 	noPacking := flag.Bool("no-packing", false, "disable the channel re-use heuristic")
 	perfect := flag.Bool("perfect-sensing", false, "disable the measured sensing error injection")
 	lambda := flag.Float64("lambda", 10, "hopping bucket mean")
+	trials := flag.Int("trials", 1, "independent topologies to run")
+	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var s netsim.Scheme
@@ -44,31 +53,64 @@ func main() {
 		log.Fatalf("cellfi-sim: unknown scheme %q", *scheme)
 	}
 
-	p := topo.Paper(*aps, *clients)
-	p.AreaSide = *area
-	tp := topo.Generate(p, *seed)
-	cfg := netsim.DefaultConfig(s, *seed)
-	cfg.PackingEnabled = !*noPacking
-	cfg.PerfectSensing = *perfect
-	cfg.Lambda = *lambda
+	type trialResult struct {
+		tp    *topo.Topology
+		th    []float64
+		hops  int
+		alloc [][]int
+	}
+	var specs []runner.Spec
+	for tr := 0; tr < *trials; tr++ {
+		tr := tr
+		specs = append(specs, runner.Spec{
+			Label: fmt.Sprintf("trial=%d", tr),
+			Seed:  *seed + int64(tr)*7919,
+			Run: func(c *runner.Ctx) (any, error) {
+				p := topo.Paper(*aps, *clients)
+				p.AreaSide = *area
+				tp := topo.Generate(p, c.Seed())
+				cfg := netsim.DefaultConfig(s, c.Seed())
+				cfg.PackingEnabled = !*noPacking
+				cfg.PerfectSensing = *perfect
+				cfg.Lambda = *lambda
 
-	n := netsim.New(tp, cfg)
-	th := n.Run(*epochs)
+				n := netsim.New(tp, cfg)
+				out := trialResult{tp: tp, th: n.Run(*epochs), hops: n.Hops}
+				c.AddSteps(int64(*epochs))
+				for i := range tp.APs {
+					out.alloc = append(out.alloc, n.Allowed(i))
+				}
+				return out, nil
+			},
+		})
+	}
 
-	sorted := append([]float64(nil), th...)
-	sort.Float64s(sorted)
-	cdf := stats.NewCDF(th)
-	fmt.Printf("scheme=%s aps=%d clients/AP=%d epochs=%d seed=%d\n",
-		s, *aps, *clients, *epochs, *seed)
-	fmt.Printf("per-client throughput (Mbps): min=%.3f p25=%.3f median=%.3f p75=%.3f max=%.3f mean=%.3f\n",
-		cdf.Min(), cdf.Quantile(0.25), cdf.Median(), cdf.Quantile(0.75), cdf.Max(), cdf.Mean())
-	fmt.Printf("starved (<0.05 Mbps): %.1f%%   total=%.1f Mbps   controller hops=%d\n",
-		cdf.FractionBelow(0.05)*100, cdf.Mean()*float64(cdf.Len()), n.Hops)
+	rep := runner.Run(context.Background(), "cellfi-sim", specs, runner.Options{Workers: *workers})
+	results, err := runner.Values[trialResult](rep)
+	if err != nil {
+		log.Fatalf("cellfi-sim: %v", err)
+	}
 
-	if s == netsim.SchemeCellFi || s == netsim.SchemeOracle {
-		fmt.Println("\nper-cell subchannel allocation:")
-		for i := range tp.APs {
-			fmt.Printf("  cell %2d at %-18s holds %v\n", i, tp.APs[i], n.Allowed(i))
+	for tr, r := range results {
+		trialSeed := *seed + int64(tr)*7919
+		sorted := append([]float64(nil), r.th...)
+		sort.Float64s(sorted)
+		cdf := stats.NewCDF(r.th)
+		fmt.Printf("scheme=%s aps=%d clients/AP=%d epochs=%d seed=%d\n",
+			s, *aps, *clients, *epochs, trialSeed)
+		fmt.Printf("per-client throughput (Mbps): min=%.3f p25=%.3f median=%.3f p75=%.3f max=%.3f mean=%.3f\n",
+			cdf.Min(), cdf.Quantile(0.25), cdf.Median(), cdf.Quantile(0.75), cdf.Max(), cdf.Mean())
+		fmt.Printf("starved (<0.05 Mbps): %.1f%%   total=%.1f Mbps   controller hops=%d\n",
+			cdf.FractionBelow(0.05)*100, cdf.Mean()*float64(cdf.Len()), r.hops)
+
+		if s == netsim.SchemeCellFi || s == netsim.SchemeOracle {
+			fmt.Println("\nper-cell subchannel allocation:")
+			for i := range r.tp.APs {
+				fmt.Printf("  cell %2d at %-18s holds %v\n", i, r.tp.APs[i], r.alloc[i])
+			}
+		}
+		if tr < len(results)-1 {
+			fmt.Println()
 		}
 	}
 }

@@ -6,13 +6,20 @@
 //
 //	cellfi-sweep [-schemes cellfi,lte,oracle] [-aps 6,8,10,12,14]
 //	             [-clients 6] [-trials 3] [-epochs 20] [-seed 1]
-//	             [-bw 5] [-starve 0.05]
+//	             [-bw 5] [-starve 0.05] [-workers N]
+//	             [-telemetry report.json]
 //
 // Output columns: scheme, aps, clients_per_ap, trial, median_mbps,
 // mean_mbps, p10_mbps, p90_mbps, starved_frac, total_mbps, hops.
+//
+// Grid points run concurrently on -workers goroutines; each point is
+// seeded independently, so the CSV is byte-identical at any worker
+// count. -telemetry writes the campaign's per-run wall times and
+// simulated-event counts as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +29,7 @@ import (
 
 	"cellfi/internal/lte"
 	"cellfi/internal/netsim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 )
@@ -68,6 +76,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	bwFlag := flag.Int("bw", 5, "carrier bandwidth in MHz (5, 10, 15, 20)")
 	starve := flag.Float64("starve", 0.05, "starvation threshold in Mbps")
+	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS)")
+	telemetry := flag.String("telemetry", "", "write campaign telemetry JSON to this path")
 	flag.Parse()
 
 	schemes, err := parseSchemes(*schemesFlag)
@@ -90,29 +100,66 @@ func main() {
 		log.Fatalf("cellfi-sweep: bandwidth must be 5, 10, 15 or 20 MHz")
 	}
 
-	w := os.Stdout
-	fmt.Fprintln(w, "scheme,aps,clients_per_ap,trial,median_mbps,mean_mbps,p10_mbps,p90_mbps,starved_frac,total_mbps,hops")
+	// One runner spec per (aps, clients, trial) grid point; each spec
+	// runs every scheme on its shared topology and returns the CSV rows
+	// for that point. Specs are independently seeded, so the aggregated
+	// CSV is identical at any worker count.
+	var specs []runner.Spec
 	for _, aps := range apsList {
+		aps := aps
 		for _, clients := range clientsList {
+			clients := clients
 			for tr := 0; tr < *trials; tr++ {
+				tr := tr
 				trialSeed := *seed + int64(tr)*7919 + int64(aps)*131 + int64(clients)*17
-				tp := topo.Generate(topo.Paper(aps, clients), trialSeed)
-				for _, s := range schemes {
-					cfg := netsim.DefaultConfig(s, trialSeed)
-					cfg.BW = bw
-					n := netsim.New(tp, cfg)
-					th := n.Run(*epochs)
-					c := stats.NewCDF(th)
-					var total float64
-					for _, v := range th {
-						total += v
-					}
-					fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%d\n",
-						s, aps, clients, tr,
-						c.Median(), c.Mean(), c.Quantile(0.1), c.Quantile(0.9),
-						c.FractionBelow(*starve), total, n.Hops)
-				}
+				specs = append(specs, runner.Spec{
+					Label: fmt.Sprintf("aps=%d/clients=%d/trial=%d", aps, clients, tr),
+					Seed:  trialSeed,
+					Run: func(c *runner.Ctx) (any, error) {
+						tp := topo.Generate(topo.Paper(aps, clients), c.Seed())
+						var rows []string
+						for _, s := range schemes {
+							cfg := netsim.DefaultConfig(s, c.Seed())
+							cfg.BW = bw
+							n := netsim.New(tp, cfg)
+							th := n.Run(*epochs)
+							c.AddSteps(int64(*epochs))
+							cdf := stats.NewCDF(th)
+							var total float64
+							for _, v := range th {
+								total += v
+							}
+							rows = append(rows, fmt.Sprintf("%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%d",
+								s, aps, clients, tr,
+								cdf.Median(), cdf.Mean(), cdf.Quantile(0.1), cdf.Quantile(0.9),
+								cdf.FractionBelow(*starve), total, n.Hops))
+						}
+						return rows, nil
+					},
+				})
 			}
 		}
+	}
+
+	rep := runner.Run(context.Background(), "cellfi-sweep", specs, runner.Options{Workers: *workers})
+	rows, err := runner.Values[[]string](rep)
+	if err != nil {
+		log.Fatalf("cellfi-sweep: %v", err)
+	}
+
+	w := os.Stdout
+	fmt.Fprintln(w, "scheme,aps,clients_per_ap,trial,median_mbps,mean_mbps,p10_mbps,p90_mbps,starved_frac,total_mbps,hops")
+	for _, point := range rows {
+		for _, row := range point {
+			fmt.Fprintln(w, row)
+		}
+	}
+
+	if *telemetry != "" {
+		if err := rep.WriteJSON(*telemetry); err != nil {
+			log.Fatalf("cellfi-sweep: writing telemetry: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cellfi-sweep: %d runs, %d sim events in %.0f ms -> %s\n",
+			len(rep.Runs), rep.TotalSimEvents, rep.WallMS, *telemetry)
 	}
 }

@@ -3,10 +3,14 @@
 // Usage:
 //
 //	experiments [-id fig9b] [-seed 1] [-quick] [-series] [-list]
+//	            [-workers N] [-telemetry report.json] [-progress]
 //
 // Without -id it runs every experiment in presentation order. -quick
 // trades trial counts for speed; -series additionally dumps the raw
-// (x, y) series behind each figure for external plotting.
+// (x, y) series behind each figure for external plotting. Experiments
+// fan their scenario fleets across -workers goroutines (results are
+// bit-identical at any worker count); -telemetry writes the merged
+// per-run campaign report as JSON.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 
 	"cellfi/internal/experiments"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 )
 
@@ -26,7 +31,18 @@ func main() {
 	series := flag.Bool("series", false, "print raw series points for plotting")
 	plot := flag.Bool("plot", false, "render each figure's series as terminal plots")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	workers := flag.Int("workers", 0, "scenario-fleet workers (0 = GOMAXPROCS)")
+	telemetry := flag.String("telemetry", "", "write merged campaign telemetry JSON to this path")
+	progress := flag.Bool("progress", false, "report per-run fleet progress on stderr")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
+	if *progress {
+		experiments.SetProgress(func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "[%s] %d/%d done (%d failed) %s\n",
+				p.Campaign, p.Done, p.Total, p.Failed, p.Label)
+		})
+	}
 
 	if *list {
 		for _, eid := range experiments.IDs() {
@@ -74,5 +90,27 @@ func main() {
 			}
 		}
 		fmt.Println(strings.Repeat("-", 64))
+	}
+
+	if *telemetry != "" {
+		reps := experiments.DrainReports()
+		// Purely computed experiments (e.g. overhead) run no fleet;
+		// still emit a valid empty report so tooling can rely on the
+		// file existing.
+		merged := &runner.Report{Campaign: "experiments"}
+		if len(reps) > 0 {
+			var err error
+			merged, err = runner.Merge("experiments", reps...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: merging telemetry: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := merged.WriteJSON(*telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %d campaigns, %d runs, %d sim events -> %s\n",
+			len(reps), len(merged.Runs), merged.TotalSimEvents, *telemetry)
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"cellfi/internal/lte"
 	"cellfi/internal/netsim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 )
@@ -17,10 +18,11 @@ func init() {
 func coreCQIOverheadKbps() float64 { return lte.CQISignalingOverheadBps() / 1e3 }
 
 // cellfiRun runs one backlogged CellFi network and returns throughputs
-// plus accumulated hops.
-func cellfiRun(tp *topo.Topology, cfg netsim.Config, epochs int) ([]float64, int) {
+// plus accumulated hops. c may be nil outside a fleet.
+func cellfiRun(c *runner.Ctx, tp *topo.Topology, cfg netsim.Config, epochs int) ([]float64, int) {
 	n := netsim.New(tp, cfg)
 	th := n.Run(epochs)
+	addSteps(c, epochs)
 	return th, n.Hops
 }
 
@@ -50,20 +52,37 @@ func ReuseAblation(seed int64, quick bool) Result {
 		}
 		return float64(low) / float64(held)
 	}
-	for tr := 0; tr < trials; tr++ {
-		tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*911)
-		cfgOn := netsim.DefaultConfig(netsim.SchemeCellFi, seed+int64(tr))
-		nOn := netsim.New(tp, cfgOn)
-		onTh = append(onTh, nOn.Run(epochs)...)
-		onHops += nOn.Hops
-		onLowIdx += lowIdxFrac(nOn)
+	type reuseTrial struct {
+		onTh, offTh         []float64
+		onHops, offHops     int
+		onLowIdx, offLowIdx float64
+	}
+	for _, r := range trialFleet("reuse", trials,
+		func(tr int) int64 { return seed + int64(tr) },
+		func(c *runner.Ctx, tr int) reuseTrial {
+			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*911)
+			cfgOn := netsim.DefaultConfig(netsim.SchemeCellFi, c.Seed())
+			nOn := netsim.New(tp, cfgOn)
+			var out reuseTrial
+			out.onTh = nOn.Run(epochs)
+			out.onHops = nOn.Hops
+			out.onLowIdx = lowIdxFrac(nOn)
 
-		cfgOff := cfgOn
-		cfgOff.PackingEnabled = false
-		nOff := netsim.New(tp, cfgOff)
-		offTh = append(offTh, nOff.Run(epochs)...)
-		offHops += nOff.Hops
-		offLowIdx += lowIdxFrac(nOff)
+			cfgOff := cfgOn
+			cfgOff.PackingEnabled = false
+			nOff := netsim.New(tp, cfgOff)
+			out.offTh = nOff.Run(epochs)
+			out.offHops = nOff.Hops
+			out.offLowIdx = lowIdxFrac(nOff)
+			addSteps(c, 2*epochs)
+			return out
+		}) {
+		onTh = append(onTh, r.onTh...)
+		onHops += r.onHops
+		onLowIdx += r.onLowIdx
+		offTh = append(offTh, r.offTh...)
+		offHops += r.offHops
+		offLowIdx += r.offLowIdx
 	}
 	onLowIdx /= float64(trials)
 	offLowIdx /= float64(trials)
@@ -103,19 +122,40 @@ func LambdaAblation(seed int64, quick bool) Result {
 		Title:   "Ablation: hopping bucket mean (lambda)",
 		Headers: []string{"Lambda", "Median Mbps", "Starved %", "Hops"},
 	}
+	// One leg per (lambda, trial) pair; aggregate lambda-major.
+	type lambdaRun struct {
+		th   []float64
+		hops int
+	}
+	var legs []leg[lambdaRun]
 	for _, l := range lambdas {
+		l := l
+		for tr := 0; tr < trials; tr++ {
+			tr := tr
+			legs = append(legs, leg[lambdaRun]{
+				label: note("lambda/l=%g/trial=%d", l, tr),
+				seed:  seed + int64(tr),
+				run: func(c *runner.Ctx) lambdaRun {
+					tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*733)
+					cfg := netsim.DefaultConfig(netsim.SchemeCellFi, c.Seed())
+					cfg.Lambda = l
+					r, h := cellfiRun(c, tp, cfg, epochs)
+					return lambdaRun{th: r, hops: h}
+				},
+			})
+		}
+	}
+	runs := fleet("lambda", legs)
+	for li := range lambdas {
 		var th []float64
 		hops := 0
 		for tr := 0; tr < trials; tr++ {
-			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*733)
-			cfg := netsim.DefaultConfig(netsim.SchemeCellFi, seed+int64(tr))
-			cfg.Lambda = l
-			r, h := cellfiRun(tp, cfg, epochs)
-			th = append(th, r...)
-			hops += h
+			r := runs[li*trials+tr]
+			th = append(th, r.th...)
+			hops += r.hops
 		}
 		c := stats.NewCDF(th)
-		t.AddRow(stats.Fmt(l), stats.Fmt(c.Median()),
+		t.AddRow(stats.Fmt(lambdas[li]), stats.Fmt(c.Median()),
 			stats.Fmt(c.FractionBelow(StarveThresholdMbps)*100), stats.Fmt(float64(hops)))
 	}
 	return Result{
@@ -134,15 +174,23 @@ func SensingAblation(seed int64, quick bool) Result {
 		trials, epochs = 1, 10
 	}
 	var measTh, perfTh []float64
-	for tr := 0; tr < trials; tr++ {
-		tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*577)
-		cfg := netsim.DefaultConfig(netsim.SchemeCellFi, seed+int64(tr))
-		th, _ := cellfiRun(tp, cfg, epochs)
-		measTh = append(measTh, th...)
+	type sensingTrial struct {
+		meas, perf []float64
+	}
+	for _, r := range trialFleet("sensing", trials,
+		func(tr int) int64 { return seed + int64(tr) },
+		func(c *runner.Ctx, tr int) sensingTrial {
+			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*577)
+			cfg := netsim.DefaultConfig(netsim.SchemeCellFi, c.Seed())
+			var out sensingTrial
+			out.meas, _ = cellfiRun(c, tp, cfg, epochs)
 
-		cfg.PerfectSensing = true
-		th, _ = cellfiRun(tp, cfg, epochs)
-		perfTh = append(perfTh, th...)
+			cfg.PerfectSensing = true
+			out.perf, _ = cellfiRun(c, tp, cfg, epochs)
+			return out
+		}) {
+		measTh = append(measTh, r.meas...)
+		perfTh = append(perfTh, r.perf...)
 	}
 	m, p := stats.NewCDF(measTh), stats.NewCDF(perfTh)
 	t := &stats.Table{

@@ -121,7 +121,7 @@ func TestFigure9bDirections(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-system simulation")
 	}
-	r := runFig9Trial(10, 6, 99, 12, 500000000, true) // 0.5 s Wi-Fi
+	r := runFig9Trial(nil, 10, 6, 99, 12, 500000000, true) // 0.5 s Wi-Fi
 	starve := func(th []float64) float64 {
 		n := 0
 		for _, v := range th {

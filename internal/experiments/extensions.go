@@ -4,6 +4,7 @@ import (
 	"cellfi/internal/core"
 	"cellfi/internal/lte"
 	"cellfi/internal/netsim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 )
@@ -17,16 +18,31 @@ func init() {
 }
 
 // schemeSweep runs several schemes over common topologies and returns
-// per-scheme client throughputs plus hop counts.
-func schemeSweep(schemes []netsim.Scheme, seed int64, trials, epochs, aps, clients int) (map[netsim.Scheme][]float64, map[netsim.Scheme]int) {
+// per-scheme client throughputs plus hop counts. Trials fan out as
+// fleet legs; each leg runs every scheme on its shared topology.
+func schemeSweep(campaign string, schemes []netsim.Scheme, seed int64, trials, epochs, aps, clients int) (map[netsim.Scheme][]float64, map[netsim.Scheme]int) {
+	type sweepTrial struct {
+		th   map[netsim.Scheme][]float64
+		hops map[netsim.Scheme]int
+	}
 	th := map[netsim.Scheme][]float64{}
 	hops := map[netsim.Scheme]int{}
-	for tr := 0; tr < trials; tr++ {
-		tp := topo.Generate(topo.Paper(aps, clients), seed+int64(tr)*3571)
+	for _, r := range trialFleet(campaign, trials,
+		func(tr int) int64 { return seed + int64(tr) },
+		func(c *runner.Ctx, tr int) sweepTrial {
+			tp := topo.Generate(topo.Paper(aps, clients), seed+int64(tr)*3571)
+			out := sweepTrial{th: map[netsim.Scheme][]float64{}, hops: map[netsim.Scheme]int{}}
+			for _, s := range schemes {
+				n := netsim.New(tp, netsim.DefaultConfig(s, c.Seed()))
+				out.th[s] = n.Run(epochs)
+				out.hops[s] = n.Hops
+				addSteps(c, epochs)
+			}
+			return out
+		}) {
 		for _, s := range schemes {
-			n := netsim.New(tp, netsim.DefaultConfig(s, seed+int64(tr)))
-			th[s] = append(th[s], n.Run(epochs)...)
-			hops[s] += n.Hops
+			th[s] = append(th[s], r.th[s]...)
+			hops[s] += r.hops[s]
 		}
 	}
 	return th, hops
@@ -41,7 +57,7 @@ func HybridExtension(seed int64, quick bool) Result {
 		trials, epochs = 1, 10
 	}
 	schemes := []netsim.Scheme{netsim.SchemeCellFi, netsim.SchemeHybrid, netsim.SchemeOracle}
-	th, hops := schemeSweep(schemes, seed, trials, epochs, 10, 6)
+	th, hops := schemeSweep("hybrid", schemes, seed, trials, epochs, 10, 6)
 
 	t := &stats.Table{
 		Title:   "Extension (Section 7): per-provider centralized + cross-provider distributed",
@@ -91,7 +107,7 @@ func HoppingBaseline(seed int64, quick bool) Result {
 		trials, epochs = 1, 10
 	}
 	schemes := []netsim.Scheme{netsim.SchemeCellFi, netsim.SchemeRandomHop}
-	th, hops := schemeSweep(schemes, seed, trials, epochs, 10, 6)
+	th, hops := schemeSweep("hopping", schemes, seed, trials, epochs, 10, 6)
 
 	cf := stats.NewCDF(th[netsim.SchemeCellFi])
 	rh := stats.NewCDF(th[netsim.SchemeRandomHop])
@@ -125,12 +141,22 @@ func UplinkExtension(seed int64, quick bool) Result {
 	if quick {
 		trials, epochs = 1, 10
 	}
+	ulSchemes := []netsim.Scheme{netsim.SchemeLTE, netsim.SchemeCellFi}
 	th := map[netsim.Scheme][]float64{}
-	for tr := 0; tr < trials; tr++ {
-		tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*4219)
-		for _, s := range []netsim.Scheme{netsim.SchemeLTE, netsim.SchemeCellFi} {
-			n := netsim.New(tp, netsim.DefaultConfig(s, seed+int64(tr)))
-			th[s] = append(th[s], n.UplinkThroughputs(epochs)...)
+	for _, r := range trialFleet("uplink", trials,
+		func(tr int) int64 { return seed + int64(tr) },
+		func(c *runner.Ctx, tr int) map[netsim.Scheme][]float64 {
+			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*4219)
+			out := map[netsim.Scheme][]float64{}
+			for _, s := range ulSchemes {
+				n := netsim.New(tp, netsim.DefaultConfig(s, c.Seed()))
+				out[s] = n.UplinkThroughputs(epochs)
+				addSteps(c, epochs)
+			}
+			return out
+		}) {
+		for _, s := range ulSchemes {
+			th[s] = append(th[s], r[s]...)
 		}
 	}
 	lteCDF := stats.NewCDF(th[netsim.SchemeLTE])
@@ -171,15 +197,33 @@ func AggregationExtension(seed int64, quick bool) Result {
 		Title:   "Extension (Section 7): carrier width via TV-channel aggregation",
 		Headers: []string{"Carrier", "Subchannels", "TV channels (EU)", "Median Mbps", "Starved %"},
 	}
-	medians := map[lte.Bandwidth]float64{}
+	// One leg per (bandwidth, trial); aggregate bandwidth-major.
+	var aggLegs []leg[[]float64]
 	for _, bw := range bws {
+		bw := bw
+		for tr := 0; tr < trials; tr++ {
+			tr := tr
+			aggLegs = append(aggLegs, leg[[]float64]{
+				label: note("aggregation/bw=%gMHz/trial=%d", float64(bw), tr),
+				seed:  seed + int64(tr),
+				run: func(c *runner.Ctx) []float64 {
+					tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*6113)
+					cfg := netsim.DefaultConfig(netsim.SchemeCellFi, c.Seed())
+					cfg.BW = bw
+					n := netsim.New(tp, cfg)
+					th := n.Run(epochs)
+					addSteps(c, epochs)
+					return th
+				},
+			})
+		}
+	}
+	aggRuns := fleet("aggregation", aggLegs)
+	medians := map[lte.Bandwidth]float64{}
+	for bi, bw := range bws {
 		var th []float64
 		for tr := 0; tr < trials; tr++ {
-			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*6113)
-			cfg := netsim.DefaultConfig(netsim.SchemeCellFi, seed+int64(tr))
-			cfg.BW = bw
-			n := netsim.New(tp, cfg)
-			th = append(th, n.Run(epochs)...)
+			th = append(th, aggRuns[bi*trials+tr]...)
 		}
 		c := stats.NewCDF(th)
 		medians[bw] = c.Median()
@@ -216,19 +260,29 @@ func MobilityExtension(seed int64, quick bool) Result {
 		median    float64
 		handovers int
 	}
-	run := func(speed float64) outcome {
+	type mobilityTrial struct {
+		th        []float64
+		handovers int
+	}
+	run := func(name string, speed float64) outcome {
 		var th []float64
 		ho := 0
-		for tr := 0; tr < trials; tr++ {
-			tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*8191)
-			n := netsim.New(tp, netsim.DefaultConfig(netsim.SchemeCellFi, seed+int64(tr)))
-			if speed > 0 {
-				cfg := netsim.DefaultMobility()
-				cfg.SpeedMps = speed
-				n.EnableMobility(cfg)
-			}
-			th = append(th, n.Run(epochs)...)
-			ho += n.Handovers()
+		for _, r := range trialFleet("mobility/"+name, trials,
+			func(tr int) int64 { return seed + int64(tr) },
+			func(c *runner.Ctx, tr int) mobilityTrial {
+				tp := topo.Generate(topo.Paper(10, 6), seed+int64(tr)*8191)
+				n := netsim.New(tp, netsim.DefaultConfig(netsim.SchemeCellFi, c.Seed()))
+				if speed > 0 {
+					cfg := netsim.DefaultMobility()
+					cfg.SpeedMps = speed
+					n.EnableMobility(cfg)
+				}
+				out := mobilityTrial{th: n.Run(epochs), handovers: n.Handovers()}
+				addSteps(c, epochs)
+				return out
+			}) {
+			th = append(th, r.th...)
+			ho += r.handovers
 		}
 		c := stats.NewCDF(th)
 		return outcome{
@@ -237,9 +291,9 @@ func MobilityExtension(seed int64, quick bool) Result {
 			handovers: ho,
 		}
 	}
-	static := run(0)
-	walk := run(1.5)
-	drive := run(15)
+	static := run("static", 0)
+	walk := run("walk", 1.5)
+	drive := run("drive", 15)
 
 	t := &stats.Table{
 		Title:   "Extension (Section 7): mobility and roaming under CellFi",

@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"cellfi/internal/propagation"
-	"cellfi/internal/sim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 	"cellfi/internal/wifi"
@@ -14,8 +14,8 @@ func init() { register("fig2", Figure2) }
 
 // wifiTrial runs one backlogged Wi-Fi network over a topology and
 // returns per-client throughput in Mbps.
-func wifiTrial(t *topo.Topology, params wifi.Params, model *propagation.Model, txPowerDBm float64, seed int64, dur time.Duration) []float64 {
-	eng := sim.NewEngine(seed)
+func wifiTrial(c *runner.Ctx, t *topo.Topology, params wifi.Params, model *propagation.Model, txPowerDBm float64, seed int64, dur time.Duration) []float64 {
+	eng := fleetEngine(c, seed)
 	n := wifi.NewNetwork(eng, model, params)
 	id := 1
 	for i, apPos := range t.APs {
@@ -63,23 +63,42 @@ func Figure2(seed int64, quick bool) Result {
 	if quick {
 		trials, dur = 2, 500*time.Millisecond
 	}
-	var af, ac []float64
+	// Each trial contributes two independent legs: the outdoor
+	// 802.11af network (30 dBm, 700 m cells) and the short-range
+	// 802.11ac deployment (20 dBm, the radius giving the same edge SNR
+	// over indoor propagation — Section 3.2: "same number of clients
+	// within the corresponding range of each access point ... average
+	// SNR at the receiver is same").
+	var legs []leg[[]float64]
 	for tr := 0; tr < trials; tr++ {
 		trialSeed := seed + int64(tr)*131
-		// 802.11af: outdoor cellular — 30 dBm, clients within the
-		// long-range 700 m radius. 802.11ac: home Wi-Fi — 20 dBm,
-		// clients within the correspondingly shorter radius that
-		// yields the same edge SNR (Section 3.2: "same number of
-		// clients within the corresponding range of each access
-		// point ... average SNR at the receiver is same").
-		afTopo := topo.Generate(topo.Paper(8, 6), trialSeed)
-		acParams := topo.Paper(8, 6)
-		acParams.CellRadius = 290 // 20 dBm indoor edge SNR == 30 dBm urban at 700 m
-		acTopo := topo.Generate(acParams, trialSeed)
-		af = append(af, wifiTrial(afTopo, wifi.Params11af20(),
-			propagation.DefaultUrban(trialSeed), 30, trialSeed, dur)...)
-		ac = append(ac, wifiTrial(acTopo, wifi.Params11ac20(),
-			propagation.IndoorShortRange(trialSeed), 20, trialSeed, dur)...)
+		legs = append(legs,
+			leg[[]float64]{
+				label: note("fig2/11af/trial=%d", tr),
+				seed:  trialSeed,
+				run: func(c *runner.Ctx) []float64 {
+					afTopo := topo.Generate(topo.Paper(8, 6), c.Seed())
+					return wifiTrial(c, afTopo, wifi.Params11af20(),
+						propagation.DefaultUrban(c.Seed()), 30, c.Seed(), dur)
+				},
+			},
+			leg[[]float64]{
+				label: note("fig2/11ac/trial=%d", tr),
+				seed:  trialSeed,
+				run: func(c *runner.Ctx) []float64 {
+					acParams := topo.Paper(8, 6)
+					acParams.CellRadius = 290 // 20 dBm indoor edge SNR == 30 dBm urban at 700 m
+					acTopo := topo.Generate(acParams, c.Seed())
+					return wifiTrial(c, acTopo, wifi.Params11ac20(),
+						propagation.IndoorShortRange(c.Seed()), 20, c.Seed(), dur)
+				},
+			})
+	}
+	runs := fleet("fig2", legs)
+	var af, ac []float64
+	for tr := 0; tr < trials; tr++ {
+		af = append(af, runs[2*tr]...)
+		ac = append(ac, runs[2*tr+1]...)
 	}
 	afCDF, acCDF := stats.NewCDF(af), stats.NewCDF(ac)
 

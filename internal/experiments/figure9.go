@@ -5,7 +5,7 @@ import (
 
 	"cellfi/internal/netsim"
 	"cellfi/internal/propagation"
-	"cellfi/internal/sim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
 	"cellfi/internal/traffic"
@@ -28,13 +28,13 @@ type fig9Throughputs struct {
 }
 
 // runFig9Trial produces per-client backlogged throughputs for all four
-// systems over one topology.
-func runFig9Trial(aps, clients int, seed int64, epochs int, wifiDur time.Duration, withOracle bool) fig9Throughputs {
+// systems over one topology. c may be nil outside a fleet.
+func runFig9Trial(c *runner.Ctx, aps, clients int, seed int64, epochs int, wifiDur time.Duration, withOracle bool) fig9Throughputs {
 	var out fig9Throughputs
 	tp := topo.Generate(topo.Paper(aps, clients), seed)
 
 	// 802.11af on a 6 MHz TV channel (the paper's Wi-Fi arm).
-	out.wifi = wifiBackloggedThroughputs(tp, wifi.Params11af(), 30, seed, wifiDur)
+	out.wifi = wifiBackloggedThroughputs(c, tp, wifi.Params11af(), 30, seed, wifiDur)
 
 	for _, s := range []netsim.Scheme{netsim.SchemeLTE, netsim.SchemeCellFi, netsim.SchemeOracle} {
 		if s == netsim.SchemeOracle && !withOracle {
@@ -42,6 +42,7 @@ func runFig9Trial(aps, clients int, seed int64, epochs int, wifiDur time.Duratio
 		}
 		n := netsim.New(tp, netsim.DefaultConfig(s, seed))
 		th := n.Run(epochs)
+		addSteps(c, epochs)
 		switch s {
 		case netsim.SchemeLTE:
 			out.lte = th
@@ -56,8 +57,8 @@ func runFig9Trial(aps, clients int, seed int64, epochs int, wifiDur time.Duratio
 
 // wifiBackloggedThroughputs runs the event-driven Wi-Fi simulator over
 // a topology with saturated downlink queues.
-func wifiBackloggedThroughputs(tp *topo.Topology, params wifi.Params, power float64, seed int64, dur time.Duration) []float64 {
-	eng := sim.NewEngine(seed)
+func wifiBackloggedThroughputs(c *runner.Ctx, tp *topo.Topology, params wifi.Params, power float64, seed int64, dur time.Duration) []float64 {
+	eng := fleetEngine(c, seed)
 	n := wifi.NewNetwork(eng, propagation.DefaultUrban(seed), params)
 	id := 1
 	for i, apPos := range tp.APs {
@@ -109,10 +110,27 @@ func Figure9a(seed int64, quick bool) Result {
 	}
 	var sWifi, sLTE, sCellFi [][2]float64
 	var last struct{ wifi, lte, cellfi float64 }
+	// One fleet leg per (density, trial) point; legs are independent
+	// scenario runs, aggregated below in density order.
+	var legs []leg[fig9Throughputs]
 	for _, aps := range densities {
+		aps := aps
+		for tr := 0; tr < trials; tr++ {
+			tr := tr
+			legs = append(legs, leg[fig9Throughputs]{
+				label: note("fig9a/aps=%d/trial=%d", aps, tr),
+				seed:  seed + int64(tr)*7919 + int64(aps),
+				run: func(c *runner.Ctx) fig9Throughputs {
+					return runFig9Trial(c, aps, 6, c.Seed(), epochs, wifiDur, false)
+				},
+			})
+		}
+	}
+	points := fleet("fig9a", legs)
+	for di, aps := range densities {
 		var wifiTh, lteTh, cfTh []float64
 		for tr := 0; tr < trials; tr++ {
-			r := runFig9Trial(aps, 6, seed+int64(tr)*7919+int64(aps), epochs, wifiDur, false)
+			r := points[di*trials+tr]
 			wifiTh = append(wifiTh, r.wifi...)
 			lteTh = append(lteTh, r.lte...)
 			cfTh = append(cfTh, r.cellfi...)
@@ -138,8 +156,12 @@ func Figure9a(seed int64, quick bool) Result {
 		if denseTrials > 2 {
 			denseTrials = 2
 		}
-		for tr := 0; tr < denseTrials; tr++ {
-			r := runFig9Trial(14, 16, seed+int64(tr)*52361, epochs, wifiDur, false)
+		denseRuns := trialFleet("fig9a-dense", denseTrials,
+			func(tr int) int64 { return seed + int64(tr)*52361 },
+			func(c *runner.Ctx, tr int) fig9Throughputs {
+				return runFig9Trial(c, 14, 16, c.Seed(), epochs, wifiDur, false)
+			})
+		for _, r := range denseRuns {
 			wifiTh = append(wifiTh, r.wifi...)
 			lteTh = append(lteTh, r.lte...)
 			cfTh = append(cfTh, r.cellfi...)
@@ -187,8 +209,11 @@ func Figure9b(seed int64, quick bool) Result {
 		trials, epochs, wifiDur = 1, 10, 500*time.Millisecond
 	}
 	var agg fig9Throughputs
-	for tr := 0; tr < trials; tr++ {
-		r := runFig9Trial(14, 6, seed+int64(tr)*104729, epochs, wifiDur, true)
+	for _, r := range trialFleet("fig9b", trials,
+		func(tr int) int64 { return seed + int64(tr)*104729 },
+		func(c *runner.Ctx, tr int) fig9Throughputs {
+			return runFig9Trial(c, 14, 6, c.Seed(), epochs, wifiDur, true)
+		}) {
 		agg.wifi = append(agg.wifi, r.wifi...)
 		agg.lte = append(agg.lte, r.lte...)
 		agg.cellfi = append(agg.cellfi, r.cellfi...)
@@ -256,13 +281,45 @@ func Figure9c(seed int64, quick bool) Result {
 	// within the LTE schemes' spatial-reuse capacity.
 	web := traffic.DefaultWebParams()
 	web.ThinkTimeMean = 10 * time.Second
-	var wifiPLT, ltePLT, cfPLT []float64
+	// Fan out each trial's three system arms as independent legs; every
+	// arm regenerates the trial topology from the same seed, so the
+	// split changes nothing but wall-clock time.
+	type arm struct {
+		name string
+		run  func(c *runner.Ctx, tp *topo.Topology, trialSeed int64) []float64
+	}
+	arms := []arm{
+		{"wifi", func(c *runner.Ctx, tp *topo.Topology, trialSeed int64) []float64 {
+			return wifiWebPageLoads(c, tp, web, trialSeed, durS)
+		}},
+		{"lte", func(c *runner.Ctx, tp *topo.Topology, trialSeed int64) []float64 {
+			return netsimWebPageLoads(c, tp, web, netsim.SchemeLTE, trialSeed, durS)
+		}},
+		{"cellfi", func(c *runner.Ctx, tp *topo.Topology, trialSeed int64) []float64 {
+			return netsimWebPageLoads(c, tp, web, netsim.SchemeCellFi, trialSeed, durS)
+		}},
+	}
+	var legs []leg[[]float64]
 	for tr := 0; tr < trials; tr++ {
 		trialSeed := seed + int64(tr)*60013
-		tp := topo.Generate(topo.Paper(aps, clients), trialSeed)
-		wifiPLT = append(wifiPLT, wifiWebPageLoads(tp, web, trialSeed, durS)...)
-		ltePLT = append(ltePLT, netsimWebPageLoads(tp, web, netsim.SchemeLTE, trialSeed, durS)...)
-		cfPLT = append(cfPLT, netsimWebPageLoads(tp, web, netsim.SchemeCellFi, trialSeed, durS)...)
+		for _, a := range arms {
+			a := a
+			legs = append(legs, leg[[]float64]{
+				label: note("fig9c/%s/trial=%d", a.name, tr),
+				seed:  trialSeed,
+				run: func(c *runner.Ctx) []float64 {
+					tp := topo.Generate(topo.Paper(aps, clients), c.Seed())
+					return a.run(c, tp, c.Seed())
+				},
+			})
+		}
+	}
+	plts := fleet("fig9c", legs)
+	var wifiPLT, ltePLT, cfPLT []float64
+	for tr := 0; tr < trials; tr++ {
+		wifiPLT = append(wifiPLT, plts[tr*len(arms)]...)
+		ltePLT = append(ltePLT, plts[tr*len(arms)+1]...)
+		cfPLT = append(cfPLT, plts[tr*len(arms)+2]...)
 	}
 	w, l, c := stats.NewCDF(wifiPLT), stats.NewCDF(ltePLT), stats.NewCDF(cfPLT)
 
@@ -294,7 +351,8 @@ func Figure9c(seed int64, quick bool) Result {
 
 // netsimWebPageLoads drives the fluid simulator with the web workload
 // and returns completed page load times in seconds.
-func netsimWebPageLoads(tp *topo.Topology, web traffic.WebParams, scheme netsim.Scheme, seed int64, durS int) []float64 {
+func netsimWebPageLoads(c *runner.Ctx, tp *topo.Topology, web traffic.WebParams, scheme netsim.Scheme, seed int64, durS int) []float64 {
+	addSteps(c, durS)
 	n := netsim.New(tp, netsim.DefaultConfig(scheme, seed))
 	gens := make([]*traffic.WebGenerator, len(n.Clients))
 	next := make([]traffic.Page, len(n.Clients))
@@ -357,8 +415,8 @@ func pageLoadSamples(tracker *traffic.FlowTracker, horizon time.Duration) []floa
 // wifiWebPageLoads drives the CSMA simulator with the same workload.
 // Page arrivals are quantized to whole seconds exactly as the fluid
 // simulator's epochs quantize them, so neither side gets a head start.
-func wifiWebPageLoads(tp *topo.Topology, web traffic.WebParams, seed int64, durS int) []float64 {
-	eng := sim.NewEngine(seed)
+func wifiWebPageLoads(c *runner.Ctx, tp *topo.Topology, web traffic.WebParams, seed int64, durS int) []float64 {
+	eng := fleetEngine(c, seed)
 	n := wifi.NewNetwork(eng, propagation.DefaultUrban(seed), wifi.Params11af())
 	tracker := traffic.NewFlowTracker()
 	type pair struct {

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cellfi/internal/runner"
+)
+
+// render flattens a Result to a canonical string: every table cell,
+// note, and raw series point. Timing-free experiments must render
+// byte-identically at any worker count.
+func render(r Result) string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	for _, t := range r.Tables {
+		b.WriteString(t.String() + "\n")
+	}
+	for _, n := range r.Notes {
+		b.WriteString(n + "\n")
+	}
+	for _, s := range r.Series {
+		b.WriteString(s.Name + "\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%.17g\t%.17g\n", p[0], p[1])
+		}
+	}
+	return b.String()
+}
+
+// TestExperimentsDeterministicAcrossWorkerCounts runs a cross-section
+// of fleet-ported experiments serially and on an 8-worker pool and
+// requires byte-identical output. prach is excluded only because its
+// complexity table contains wall-clock timings.
+func TestExperimentsDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment fleets are slow")
+	}
+	ids := []string{"theorem1", "sensing", "fig2"}
+	defer SetWorkers(0)
+	for _, id := range ids {
+		run, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		SetWorkers(1)
+		serial := render(run(42, true))
+		SetWorkers(8)
+		parallel := render(run(42, true))
+		if serial != parallel {
+			t.Errorf("%s: output differs between workers=1 and workers=8\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestFleetReportsAccumulate checks that experiment campaigns leave
+// telemetry behind for cmd/experiments -telemetry to drain and merge.
+func TestFleetReportsAccumulate(t *testing.T) {
+	DrainReports() // discard campaigns from other tests
+	run, ok := Get("theorem1")
+	if !ok {
+		t.Fatal("theorem1 not registered")
+	}
+	run(7, true)
+	reps := DrainReports()
+	if len(reps) == 0 {
+		t.Fatal("no campaign reports recorded")
+	}
+	var events int64
+	for _, rp := range reps {
+		events += rp.TotalSimEvents
+	}
+	if events == 0 {
+		t.Error("campaigns recorded zero sim events (AddSteps/Engine tracking broken)")
+	}
+	if _, err := runner.Merge("test", reps...); err != nil {
+		t.Fatalf("merging campaign reports: %v", err)
+	}
+}

@@ -5,7 +5,7 @@ import (
 
 	"cellfi/internal/geo"
 	"cellfi/internal/lte"
-	"cellfi/internal/sim"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 )
 
@@ -27,8 +27,8 @@ func SchedulerAblation(seed int64, quick bool) Result {
 	}
 	dists := []float64{200, 500, 800, 1100}
 
-	run := func(sched lte.Scheduler, allowed []int, s int64) (total int64, min int64, bler float64) {
-		eng := sim.NewEngine(s)
+	run := func(c *runner.Ctx, sched lte.Scheduler, allowed []int, s int64) (total int64, min int64, bler float64) {
+		eng := fleetEngine(c, s)
 		env := lte.NewEnvironment(s)
 		env.Model.ShadowSigmaDB = 0
 		cell := &lte.Cell{
@@ -75,15 +75,36 @@ func SchedulerAblation(seed int64, quick bool) Result {
 		Title:   "Scheduler composition at subframe granularity (4 clients, 200-1100 m)",
 		Headers: []string{"Configuration", "Cell Mbps", "Worst client Mbps", "First-tx BLER"},
 	}
-	results := map[string][2]float64{}
+	// One leg per (configuration, seed); aggregate configuration-major.
+	type schedRun struct {
+		total, min int64
+		bler       float64
+	}
+	var legs []leg[schedRun]
 	for _, r := range rows {
+		r := r
+		for s := int64(0); s < int64(seeds); s++ {
+			s := s
+			legs = append(legs, leg[schedRun]{
+				label: note("sched/%s/seed=%d", r.name, s),
+				seed:  seed + s,
+				run: func(c *runner.Ctx) schedRun {
+					tt, mm, bb := run(c, r.sched(), r.allowed, c.Seed())
+					return schedRun{total: tt, min: mm, bler: bb}
+				},
+			})
+		}
+	}
+	runs := fleet("sched", legs)
+	results := map[string][2]float64{}
+	for ri, r := range rows {
 		var total, min int64
 		var bler float64
-		for s := int64(0); s < int64(seeds); s++ {
-			tt, mm, bb := run(r.sched(), r.allowed, seed+s)
-			total += tt
-			min += mm
-			bler += bb
+		for s := 0; s < seeds; s++ {
+			sr := runs[ri*seeds+s]
+			total += sr.total
+			min += sr.min
+			bler += sr.bler
 		}
 		secs := dur.Seconds() * float64(seeds)
 		t.AddRow(r.name,

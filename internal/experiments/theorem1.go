@@ -6,6 +6,7 @@ import (
 
 	"cellfi/internal/core"
 	"cellfi/internal/netgraph"
+	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 )
 
@@ -66,7 +67,6 @@ func Theorem1(seed int64, quick bool) Result {
 		return sum / float64(trials), gammaSum / float64(trials)
 	}
 
-	rng := rand.New(rand.NewSource(seed))
 	t := &stats.Table{
 		Title:   "Theorem 1: measured convergence rounds vs the O(M log n / ((1-p) gamma)) bound shape",
 		Headers: []string{"n", "p", "gamma (achieved)", "Mean rounds", "M*ln(n)/((1-p)*gamma)"},
@@ -84,8 +84,19 @@ func Theorem1(seed int64, quick bool) Result {
 	if quick {
 		cases = []cfg{{6, 0, 0.8}, {24, 0, 0.8}, {12, 0.6, 0.8}}
 	}
-	for _, c := range cases {
-		r, gamma := mean(c.n, c.p, c.budget, rng)
+	// Each case owns a seed-derived random stream, so the cases fan out
+	// as independent fleet legs.
+	type caseRun struct{ rounds, gamma float64 }
+	runs := trialFleet("theorem1", len(cases),
+		func(i int) int64 { return seed + int64(i)*50021 },
+		func(c *runner.Ctx, i int) caseRun {
+			rng := rand.New(rand.NewSource(c.Seed()))
+			r, gamma := mean(cases[i].n, cases[i].p, cases[i].budget, rng)
+			addSteps(c, trials)
+			return caseRun{rounds: r, gamma: gamma}
+		})
+	for i, c := range cases {
+		r, gamma := runs[i].rounds, runs[i].gamma
 		// Use the *achieved* mean slack after demand shrinking, not
 		// the nominal budget, so the bound column is meaningful.
 		bound := float64(m) * math.Log(float64(c.n)) / ((1 - c.p) * gamma)

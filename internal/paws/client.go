@@ -6,9 +6,18 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"cellfi/internal/geo"
 )
+
+// defaultHTTPClient is the transport used when Client.HTTPClient is
+// nil. Unlike http.DefaultClient it carries a timeout, so a stalled
+// database cannot wedge an access point's vacate path indefinitely —
+// the ETSI 60-second budget (Section 6.2) leaves no room for hung
+// connections. It is also immune to other packages mutating the
+// global http.DefaultClient.
+var defaultHTTPClient = &http.Client{Timeout: 10 * time.Second}
 
 // Client is the device-side PAWS implementation a CellFi access point
 // embeds. It issues JSON-RPC calls against a database URL.
@@ -19,7 +28,8 @@ import (
 type Client struct {
 	// URL is the database endpoint.
 	URL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient overrides the transport. When nil, an owned client
+	// with a 10-second timeout is used (never http.DefaultClient).
 	HTTPClient *http.Client
 	// Device identifies this access point.
 	Device DeviceDescriptor
@@ -59,7 +69,7 @@ func (c *Client) call(method string, params, result any) error {
 	}
 	hc := c.HTTPClient
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = defaultHTTPClient
 	}
 	httpResp, err := hc.Post(c.URL, "application/json", bytes.NewReader(body))
 	if err != nil {

@@ -1,0 +1,40 @@
+package paws
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/spectrum"
+)
+
+// The zero-value Client must not ride on http.DefaultClient: the
+// owned default carries a timeout so a stalled database cannot hang
+// the vacate path past the ETSI budget.
+func TestDefaultHTTPClientHasTimeout(t *testing.T) {
+	if defaultHTTPClient == http.DefaultClient {
+		t.Fatal("paws default transport is http.DefaultClient")
+	}
+	if defaultHTTPClient.Timeout != 10*time.Second {
+		t.Fatalf("default timeout = %v, want 10s", defaultHTTPClient.Timeout)
+	}
+	if http.DefaultClient.Timeout != 0 {
+		t.Fatalf("http.DefaultClient was mutated (timeout %v)", http.DefaultClient.Timeout)
+	}
+}
+
+func TestNilHTTPClientStillTalksToServer(t *testing.T) {
+	srv := NewServer(spectrum.NewRegistry(spectrum.EU))
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c := NewClient(hs.URL, "AP-TIMEOUT-TEST")
+	if c.HTTPClient != nil {
+		t.Fatal("NewClient should leave HTTPClient nil (owned default)")
+	}
+	if _, err := c.Init(geo.Point{X: 100, Y: 100}); err != nil {
+		t.Fatalf("Init over the owned default client: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cpuSpecs builds a CPU-bound fleet: each scenario drives a sim.Engine
+// through `events` dispatches with seed-derived jitter — the shape of
+// the Wi-Fi/LTE event simulations behind Figures 1, 2 and 9.
+func cpuSpecs(n, events int) []Spec {
+	specs := make([]Spec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = Spec{
+			Label: fmt.Sprintf("cpu/%02d", i),
+			Seed:  int64(i)*2654435761 + 1,
+			Run: func(c *Ctx) (any, error) {
+				eng := c.Engine(c.Seed())
+				rng := eng.NewStream("bench")
+				sum, fired := 0.0, 0
+				var tick func()
+				tick = func() {
+					sum += rng.Float64()
+					fired++
+					if fired < events {
+						eng.After(time.Duration(1+rng.Intn(100))*time.Microsecond, tick)
+					}
+				}
+				eng.After(0, tick)
+				eng.RunAll()
+				return sum, nil
+			},
+		}
+	}
+	return specs
+}
+
+// latencySpecs builds a latency-bound fleet: each scenario waits on a
+// fixed external delay — the shape of PAWS database campaigns, where a
+// run blocks on HTTP round trips rather than the CPU.
+func latencySpecs(n int, d time.Duration) []Spec {
+	specs := make([]Spec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = Spec{
+			Label: fmt.Sprintf("latency/%02d", i),
+			Seed:  int64(i),
+			Run: func(c *Ctx) (any, error) {
+				select {
+				case <-time.After(d):
+				case <-c.Context().Done():
+					return nil, c.Context().Err()
+				}
+				c.AddSteps(1)
+				return float64(c.Seed()), nil
+			},
+		}
+	}
+	return specs
+}
+
+// BenchmarkFleet reports campaign wall time per worker count; on a
+// multi-core machine the CPU-bound fleet scales near-linearly until
+// workers exceed cores.
+func BenchmarkFleet(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := Run(context.Background(), "bench", cpuSpecs(32, 2000),
+					Options{Workers: workers})
+				if err := rep.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchArtifact is the schema of BENCH_runner.json: the committed
+// perf-trajectory baseline for the fleet executor.
+type benchArtifact struct {
+	Generated   time.Time `json:"generated"`
+	GoMaxProcs  int       `json:"go_max_procs"`
+	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	Description string    `json:"description"`
+	// Speedups are 1-worker wall time divided by 8-worker wall time
+	// for a 32-scenario campaign of each shape.
+	CPUBoundSpeedup8W     float64 `json:"cpu_bound_speedup_8w"`
+	LatencyBoundSpeedup8W float64 `json:"latency_bound_speedup_8w"`
+	// EngineEventsPerSec is single-run dispatch throughput measured by
+	// the CPU campaign (TotalSimEvents / sum of run wall times).
+	EngineEventsPerSec float64   `json:"engine_events_per_sec"`
+	Campaigns          []*Report `json:"campaigns"`
+}
+
+// TestCampaignSpeedup runs the acceptance campaign: 32 scenarios, 1
+// worker vs 8 workers, byte-identical results, and a >= 3x wall-clock
+// speedup with 8 workers (CPU-bound on machines with >= 4 cores, and
+// always for the latency-bound fleet). With RUNNER_BENCH_OUT set it
+// also writes the BENCH_runner.json artifact.
+func TestCampaignSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second timing campaign")
+	}
+	const fleet = 32
+
+	// Latency-bound: speedup must appear on any machine.
+	lat1 := Run(context.Background(), "latency-1w", latencySpecs(fleet, 40*time.Millisecond), Options{Workers: 1})
+	lat8 := Run(context.Background(), "latency-8w", latencySpecs(fleet, 40*time.Millisecond), Options{Workers: 8})
+	if err := lat1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aggregate(t, lat1), aggregate(t, lat8)) {
+		t.Fatal("latency fleet results differ across worker counts")
+	}
+	latSpeedup := lat1.WallMS / lat8.WallMS
+	if latSpeedup < 3 {
+		t.Errorf("latency-bound speedup %.2fx with 8 workers, want >= 3x", latSpeedup)
+	}
+
+	// CPU-bound: near-linear only with real cores under it.
+	cpu1 := Run(context.Background(), "cpu-1w", cpuSpecs(fleet, 20000), Options{Workers: 1})
+	cpu8 := Run(context.Background(), "cpu-8w", cpuSpecs(fleet, 20000), Options{Workers: 8})
+	if err := cpu8.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aggregate(t, cpu1), aggregate(t, cpu8)) {
+		t.Fatal("cpu fleet results differ across worker counts")
+	}
+	cpuSpeedup := cpu1.WallMS / cpu8.WallMS
+	if runtime.NumCPU() >= 4 && cpuSpeedup < 3 {
+		t.Errorf("cpu-bound speedup %.2fx with 8 workers on %d cores, want >= 3x",
+			cpuSpeedup, runtime.NumCPU())
+	}
+	t.Logf("speedups with 8 workers on %d cores: cpu-bound %.2fx, latency-bound %.2fx",
+		runtime.NumCPU(), cpuSpeedup, latSpeedup)
+
+	out := os.Getenv("RUNNER_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	var runWallMS float64
+	for _, r := range cpu1.Runs {
+		runWallMS += r.WallMS
+	}
+	art := benchArtifact{
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Description: "internal/runner fleet-executor baseline: a 32-scenario campaign " +
+			"run with 1 and 8 workers. cpu campaigns drive sim.Engine event chains; " +
+			"latency campaigns model database-bound scenarios (40 ms external wait each). " +
+			"Speedup = wall(1 worker) / wall(8 workers); cpu-bound speedup tracks core " +
+			"count, latency-bound speedup tracks worker count.",
+		CPUBoundSpeedup8W:     cpuSpeedup,
+		LatencyBoundSpeedup8W: latSpeedup,
+		EngineEventsPerSec:    float64(cpu1.TotalSimEvents) / (runWallMS / 1000),
+		Campaigns:             []*Report{cpu1, cpu8, lat1, lat8},
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Status classifies how a run ended.
+type Status string
+
+const (
+	// StatusOK: the scenario returned a value.
+	StatusOK Status = "ok"
+	// StatusFailed: the scenario returned an error or panicked.
+	StatusFailed Status = "failed"
+	// StatusCanceled: the campaign context was cancelled before the
+	// run was claimed.
+	StatusCanceled Status = "canceled"
+)
+
+// RunResult is the telemetry record of one scenario run.
+type RunResult struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	Seed   int64  `json:"seed"`
+	Status Status `json:"status"`
+	Err    string `json:"error,omitempty"`
+	// WallMS is the run's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SimEvents counts discrete events fired by the run's tracked
+	// sim.Engines plus coarse steps recorded via Ctx.AddSteps.
+	SimEvents int64 `json:"sim_events"`
+	// SimClockMS is the total virtual time advanced by tracked
+	// engines, in milliseconds.
+	SimClockMS float64 `json:"sim_clock_ms"`
+	// Value is the scenario's return value (not serialized).
+	Value any `json:"-"`
+}
+
+// Report is the aggregate account of one campaign.
+type Report struct {
+	Campaign string    `json:"campaign"`
+	Workers  int       `json:"workers"`
+	Started  time.Time `json:"started"`
+	// WallMS is the whole campaign's wall-clock time.
+	WallMS   float64 `json:"wall_ms"`
+	OK       int     `json:"ok"`
+	Failed   int     `json:"failed"`
+	Canceled int     `json:"canceled"`
+	// TotalSimEvents sums SimEvents over all runs; EventsPerSec is
+	// that total divided by campaign wall time — the fleet's
+	// simulation throughput.
+	TotalSimEvents int64       `json:"total_sim_events"`
+	EventsPerSec   float64     `json:"sim_events_per_sec"`
+	Runs           []RunResult `json:"runs"`
+}
+
+// finalize computes the aggregate counters from Runs.
+func (r *Report) finalize() {
+	r.OK, r.Failed, r.Canceled, r.TotalSimEvents = 0, 0, 0, 0
+	for i := range r.Runs {
+		switch r.Runs[i].Status {
+		case StatusOK:
+			r.OK++
+		case StatusCanceled:
+			r.Canceled++
+		default:
+			r.Failed++
+		}
+		r.TotalSimEvents += r.Runs[i].SimEvents
+	}
+	if r.WallMS > 0 {
+		r.EventsPerSec = float64(r.TotalSimEvents) / (r.WallMS / 1000)
+	}
+}
+
+// Err returns an error describing the first unsuccessful run, or nil
+// if every run completed.
+func (r *Report) Err() error {
+	for i := range r.Runs {
+		if r.Runs[i].Status != StatusOK {
+			return fmt.Errorf("run %d (%s) %s: %s",
+				r.Runs[i].Index, r.Runs[i].Label, r.Runs[i].Status, r.Runs[i].Err)
+		}
+	}
+	return nil
+}
+
+// RawValues returns every run's value in spec order. Failed or
+// canceled runs contribute their zero value (nil).
+func (r *Report) RawValues() []any {
+	out := make([]any, len(r.Runs))
+	for i := range r.Runs {
+		out[i] = r.Runs[i].Value
+	}
+	return out
+}
+
+// Values returns every run's value in spec order, asserted to T.
+// It fails if any run did not succeed — callers that tolerate partial
+// campaigns should walk Runs directly.
+func Values[T any](r *Report) ([]T, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(r.Runs))
+	for i := range r.Runs {
+		v, ok := r.Runs[i].Value.(T)
+		if !ok {
+			return nil, fmt.Errorf("run %d (%s): value is %T, not %T",
+				i, r.Runs[i].Label, r.Runs[i].Value, *new(T))
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the report (indented) to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encode report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Merge combines several campaign reports into one named campaign —
+// the shape cmd/experiments writes when a session spans many fleets.
+// Wall time is summed (campaigns ran back to back), workers is the
+// maximum, and runs are concatenated with indices rebased.
+func Merge(name string, reps ...*Report) (*Report, error) {
+	if len(reps) == 0 {
+		return nil, errors.New("runner: merge of zero reports")
+	}
+	out := &Report{Campaign: name, Started: reps[0].Started}
+	for _, rp := range reps {
+		if rp.Workers > out.Workers {
+			out.Workers = rp.Workers
+		}
+		if rp.Started.Before(out.Started) {
+			out.Started = rp.Started
+		}
+		out.WallMS += rp.WallMS
+		for _, run := range rp.Runs {
+			run.Index = len(out.Runs)
+			out.Runs = append(out.Runs, run)
+		}
+	}
+	out.finalize()
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngine measures raw event dispatch throughput: a fixed fan
+// of self-rescheduling callbacks, reported in events/sec. This is the
+// hot loop under every CSMA and LTE simulation, so regressions here
+// show up directly in the bench trajectory (BENCH_runner.json).
+func BenchmarkEngine(b *testing.B) {
+	const fan = 64 // concurrent timer chains, a typical network's worth
+	e := NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	for i := 0; i < fan && i < b.N; i++ {
+		e.After(time.Duration(i)*time.Microsecond, tick)
+	}
+	b.ResetTimer()
+	e.RunAll()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule/cancel path that
+// tickers and retransmission timers exercise.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+time.Duration(i%97)*time.Microsecond, func() {})
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

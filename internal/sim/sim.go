@@ -40,6 +40,7 @@ func (e *Event) Cancel() {
 		return
 	}
 	e.dead = true
+	e.engine.cancelled++
 	if e.index >= 0 {
 		heap.Remove(&e.engine.queue, e.index)
 	}
@@ -80,13 +81,42 @@ func (q *eventQueue) Pop() any {
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	fired     uint64
+	cancelled uint64
+	rng       *rand.Rand
+	stopped   bool
 	// streams hands out decorrelated child RNGs; see RNG.
 	streamSeed int64
+}
+
+// Stats is a snapshot of an engine's activity counters, used by run
+// telemetry (internal/runner) and throughput benchmarks.
+type Stats struct {
+	// Scheduled counts every Schedule/After call since construction.
+	Scheduled uint64
+	// Fired counts event callbacks that actually ran.
+	Fired uint64
+	// Cancelled counts events cancelled before firing.
+	Cancelled uint64
+	// Clock is the current virtual time.
+	Clock Time
+	// Pending is the number of events still queued.
+	Pending int
+}
+
+// Stats returns a snapshot of the engine's counters. Like every other
+// Engine method it must be called from the simulation goroutine.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scheduled: e.seq,
+		Fired:     e.fired,
+		Cancelled: e.cancelled,
+		Clock:     e.now,
+		Pending:   e.Pending(),
+	}
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -200,6 +230,7 @@ func (e *Engine) Run(until Time) int {
 		}
 		e.now = next.at
 		next.dead = true
+		e.fired++
 		next.fn()
 		n++
 	}
@@ -222,6 +253,7 @@ func (e *Engine) RunAll() int {
 		}
 		e.now = next.at
 		next.dead = true
+		e.fired++
 		next.fn()
 		n++
 	}

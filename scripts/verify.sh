@@ -1,0 +1,20 @@
+#!/bin/sh
+# verify.sh — the repo's fast correctness gate.
+#
+# Runs static analysis, a full build, and the race detector over the
+# packages that do real concurrency (the scenario runner, the event
+# engine it instruments, and the core protocol state machines).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (runner, sim, core)"
+go test -race ./internal/runner ./internal/sim ./internal/core
+
+echo "verify: OK"
