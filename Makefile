@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench sweep experiments fmt
+.PHONY: all build test verify bench sweep experiments fmt chaos fuzz-short
 
 all: build
 
@@ -14,6 +14,17 @@ test:
 # and the race detector over the concurrency-bearing packages.
 verify:
 	./scripts/verify.sh
+
+# chaos is the fault-injection soak: the ETSI vacate property suite
+# (100 seeded schedules + the 10k-step run + golden-log determinism)
+# repeated 5x under the race detector. Scale with CHAOS_SEEDS /
+# CHAOS_STEPS.
+chaos:
+	$(GO) test -race -count=5 -run 'TestETSIVacateProperty|TestChaosDeterminism|TestChaosGoldenTransitionLog' ./internal/core
+
+# fuzz-short gives the PAWS client-side response parser a quick shake.
+fuzz-short:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/paws
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/sim ./internal/runner

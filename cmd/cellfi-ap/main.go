@@ -1,23 +1,37 @@
 // Command cellfi-ap runs a CellFi access point's control plane against
 // a PAWS database: it registers, acquires a TV channel, polls for
 // availability, vacates within the regulatory deadline when the channel
-// is withdrawn, and reports spectrum use — the live version of the
-// Figure 6 experiment.
+// is withdrawn or the database goes dark, and reports spectrum use —
+// the live version of the Figure 6 experiment, hardened for soak runs.
 //
 // Usage:
 //
 //	cellfi-ap [-db http://localhost:8080/paws] [-serial AP-0001]
 //	          [-x 0 -y 0] [-height 15] [-poll 1s] [-duration 0]
+//	          [-startup-retries 5] [-chaos-seed 0] [-chaos-profile off]
 //
-// With -duration 0 it runs until interrupted.
+// With -duration 0 it runs until interrupted. SIGINT/SIGTERM trigger a
+// graceful shutdown: the AP vacates and sends a final (empty) spectrum-
+// use notification before exiting.
+//
+// -chaos-profile (mild|heavy|outage) with -chaos-seed wires a
+// deterministic fault injector into the database transport, for
+// soak-testing the vacate invariant against a live daemon.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"cellfi/internal/core"
+	"cellfi/internal/faults"
 	"cellfi/internal/geo"
 	"cellfi/internal/lte"
 	"cellfi/internal/paws"
@@ -31,28 +45,57 @@ func main() {
 	height := flag.Float64("height", 15, "antenna height (m)")
 	poll := flag.Duration("poll", time.Second, "database polling interval")
 	duration := flag.Duration("duration", 0, "how long to run (0 = forever)")
+	startupRetries := flag.Int("startup-retries", 5,
+		"bounded INIT/registration attempts before giving up")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for the chaos fault injector")
+	chaosProfile := flag.String("chaos-profile", "off",
+		fmt.Sprintf("fault-injection profile: off|%s", joinNames()))
 	flag.Parse()
 
 	pos := geo.Point{X: *x, Y: *y}
 	client := paws.NewClient(*db, *serial)
+	client.Retry = paws.DefaultRetry(*chaosSeed)
+	client.CallTimeout = 5 * time.Second
 
-	if _, err := client.Init(pos); err != nil {
-		log.Fatalf("cellfi-ap: INIT failed: %v", err)
+	if *chaosProfile != "off" && *chaosProfile != "" {
+		prof, ok := faults.ProfileByName(*chaosProfile)
+		if !ok {
+			log.Fatalf("cellfi-ap: unknown -chaos-profile %q (want off|%s)", *chaosProfile, joinNames())
+		}
+		inj := faults.NewInjector(nil, faults.NewSeeded(prof, *chaosSeed))
+		client.HTTPClient = &http.Client{Transport: inj, Timeout: 10 * time.Second}
+		log.Printf("chaos: injecting %q faults (seed %d) into the database transport",
+			prof.Name, *chaosSeed)
 	}
-	if _, err := client.Register(pos, "cellfi"); err != nil {
-		log.Fatalf("cellfi-ap: registration failed: %v", err)
+
+	if err := startup(client, pos, *startupRetries); err != nil {
+		log.Fatalf("cellfi-ap: %v", err)
 	}
 	log.Printf("registered %s with %s", *serial, *db)
 
 	sel := core.NewChannelSelector(client, pos, *height)
+	sel.OnTransition = func(tr core.Transition) {
+		log.Printf("lease: %s", tr)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
 	deadline := time.Time{}
 	if *duration > 0 {
 		deadline = time.Now().Add(*duration)
 	}
+	ticker := time.NewTicker(*poll)
+	defer ticker.Stop()
+
+	// pendingNotify remembers a spectrum-use notification that failed
+	// so the next poll tick retries it instead of dropping it forever.
+	pendingNotify := false
 	for {
-		act, err := sel.Refresh(time.Now())
+		now := time.Now()
+		act, err := sel.Refresh(now)
 		if err != nil {
-			log.Printf("refresh error: %v", err)
+			log.Printf("refresh error (%s): %v", paws.Classify(err), err)
 		}
 		switch act {
 		case core.Acquired, core.Switched:
@@ -65,19 +108,92 @@ func main() {
 						raw, sib.UplinkEARFCN, sib.MaxTxPowerDBm)
 				}
 			}
-			if err := client.NotifyUse(pos, []paws.FrequencyRange{{
-				Channel: l.Channel,
-				StartHz: l.CenterFreqHz - 4e6, StopHz: l.CenterFreqHz + 4e6,
-				MaxEIRPdBm: l.MaxEIRPdBm,
-			}}); err != nil {
-				log.Printf("spectrum-use notify failed: %v", err)
-			}
+			pendingNotify = true
 		case core.Vacated:
-			log.Printf("VACATED: no channel available; radio off (ETSI budget %v)", core.VacateDeadline)
+			log.Printf("VACATED: radio off (ETSI budget %v, last contact %s)",
+				core.VacateDeadline, sel.LastContact().Format(time.RFC3339))
+			pendingNotify = false
+		}
+		if pendingNotify && sel.TransmitAllowed(time.Now()) {
+			if err := notifyUse(client, pos, sel.Current()); err != nil {
+				if paws.Classify(err) == paws.Transient {
+					log.Printf("spectrum-use notify failed, will retry next tick: %v", err)
+				} else {
+					log.Printf("spectrum-use notify rejected, dropping: %v", err)
+					pendingNotify = false
+				}
+			} else {
+				pendingNotify = false
+			}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			shutdown(client, pos, sel, "duration elapsed")
 			return
 		}
-		time.Sleep(*poll)
+		select {
+		case sig := <-sigs:
+			shutdown(client, pos, sel, sig.String())
+			return
+		case <-ticker.C:
+		}
 	}
 }
+
+// startup performs the INIT handshake and registration with bounded
+// retries — a database that is briefly down at boot must not kill the
+// AP, but a fatal or regulatory answer must.
+func startup(client *paws.Client, pos geo.Point, retries int) error {
+	if retries < 1 {
+		retries = 1
+	}
+	backoff := time.Second
+	for attempt := 1; ; attempt++ {
+		err := func() error {
+			if _, err := client.Init(pos); err != nil {
+				return fmt.Errorf("INIT: %w", err)
+			}
+			if _, err := client.Register(pos, "cellfi"); err != nil {
+				return fmt.Errorf("registration: %w", err)
+			}
+			return nil
+		}()
+		if err == nil {
+			return nil
+		}
+		if paws.Classify(err) != paws.Transient {
+			return fmt.Errorf("startup failed (%s): %w", paws.Classify(err), err)
+		}
+		if attempt >= retries {
+			return fmt.Errorf("startup failed after %d attempts: %w", attempt, err)
+		}
+		log.Printf("startup attempt %d/%d failed: %v (retrying in %v)", attempt, retries, err, backoff)
+		time.Sleep(backoff)
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// notifyUse reports the current lease's spectrum use.
+func notifyUse(client *paws.Client, pos geo.Point, l *core.Lease) error {
+	return client.NotifyUse(pos, []paws.FrequencyRange{{
+		Channel: l.Channel,
+		StartHz: l.CenterFreqHz - 4e6, StopHz: l.CenterFreqHz + 4e6,
+		MaxEIRPdBm: l.MaxEIRPdBm,
+	}})
+}
+
+// shutdown vacates gracefully: radio off, a final empty spectrum-use
+// notification (the cessation report), and a stats line for the log.
+func shutdown(client *paws.Client, pos geo.Point, sel *core.ChannelSelector, why string) {
+	log.Printf("shutting down (%s): vacating", why)
+	if err := client.NotifyUse(pos, nil); err != nil {
+		log.Printf("final spectrum-use notification failed: %v", err)
+	}
+	st := sel.Stats()
+	log.Printf("lease stats: refreshes=%d failures=%d transitions=%d acquired=%d renewed=%d switched=%d grace=%d vacated=%d final-state=%s",
+		st.Refreshes, st.Failures, st.Transitions, st.Acquired, st.Renewed,
+		st.Switched, st.GraceEntries, st.Vacated, st.State)
+}
+
+func joinNames() string { return strings.Join(faults.ProfileNames(), "|") }

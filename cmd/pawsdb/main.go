@@ -4,11 +4,18 @@
 // Usage:
 //
 //	pawsdb [-addr :8080] [-domain EU|US] [-block ch[,ch...]] [-mic ch:minutes]
+//	       [-flaky from-to[,from-to...]] [-flaky-status 503]
 //
 // -block registers permanent TV-station incumbents on the listed
 // channels; -mic registers a wireless-microphone event on a channel
 // for the given number of minutes starting now (it can repeat).
 // The server logs spectrum-use notifications it receives.
+//
+// -flaky serves scripted outage windows (offsets from process start,
+// e.g. "30s-90s,5m-6m"): requests inside a window get -flaky-status
+// instead of an answer. Together with cellfi-ap's -chaos-* flags this
+// lets a live AP be soak-tested against database outages and proves
+// the ETSI vacate budget holds end to end.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"cellfi/internal/faults"
 	"cellfi/internal/geo"
 	"cellfi/internal/paws"
 	"cellfi/internal/spectrum"
@@ -34,6 +42,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	domain := flag.String("domain", "EU", "regulatory domain: EU or US")
 	block := flag.String("block", "", "comma-separated channels with permanent TV incumbents")
+	flaky := flag.String("flaky", "", "scripted outage windows as from-to offsets (e.g. 30s-90s,5m-6m)")
+	flakyStatus := flag.Int("flaky-status", http.StatusServiceUnavailable, "HTTP status served during outage windows")
 	var mics micFlags
 	flag.Var(&mics, "mic", "wireless-mic event as ch:minutes (repeatable)")
 	flag.Parse()
@@ -81,8 +91,22 @@ func main() {
 	}
 
 	srv := paws.NewServer(reg)
+	var endpoint http.Handler = srv
+	if *flaky != "" {
+		windows, err := faults.ParseWindows(*flaky)
+		if err != nil {
+			log.Fatalf("pawsdb: %v", err)
+		}
+		endpoint = &faults.FlakyHandler{
+			Inner:   srv,
+			Windows: windows,
+			Start:   time.Now(),
+			Status:  *flakyStatus,
+		}
+		log.Printf("flaky mode: %d outage window(s) %s (HTTP %d)", len(windows), *flaky, *flakyStatus)
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/paws", srv)
+	mux.Handle("/paws", endpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

@@ -114,8 +114,15 @@ type ChannelSelector struct {
 	// Listen is the network-listen probe; nil treats everything as
 	// idle.
 	Listen ListenFunc
+	// OnTransition, when set, observes every lease state-machine edge
+	// (telemetry hook; see lease.go). It must not call back into the
+	// selector.
+	OnTransition func(Transition)
 
-	current *Lease
+	current     *Lease
+	state       LeaseState
+	lastContact time.Time
+	stats       SelectorStats
 }
 
 // NewChannelSelector returns a selector for an AP at the given
@@ -133,22 +140,25 @@ func RequiredTVChannels(bw lte.Bandwidth, tvWidthHz float64) int {
 	return int(math.Ceil(bw.Hz() / tvWidthHz))
 }
 
-// Refresh queries the database and reconciles the lease. It returns
-// the action taken. Refresh must be called at least once per the
-// database's MaxPollingSecs; the Figure 6 experiment polls every
-// second.
+// Refresh queries the database and reconciles the lease, driving the
+// lifecycle state machine (lease.go). It returns the action taken.
+// Refresh must be called at least once per the database's
+// MaxPollingSecs; the Figure 6 experiment polls every second.
 func (s *ChannelSelector) Refresh(now time.Time) (Action, error) {
+	s.stats.Refreshes++
+	switch {
+	case s.current != nil:
+		s.transition(StateRenewing, now, "renewal poll")
+	case s.state == StateVacated:
+		s.transition(StateAcquiring, now, "reacquisition poll")
+	}
 	resp, err := s.DB.GetSpectrum(s.Location, s.AntennaHeightM)
 	if err != nil {
-		// Fail safe: without a fresh answer past the lease expiry,
-		// the AP must go silent.
-		if s.current != nil && now.After(s.current.Until) {
-			s.current = nil
-			return Vacated, err
-		}
-		return NoChange, err
+		s.stats.Failures++
+		return s.refreshFailed(now, err)
 	}
-	avail := resp.Channels()
+	s.lastContact = now
+	avail := usableAt(resp.Channels(), now)
 	had := s.current != nil
 
 	if had && s.channelStillOffered(avail) {
@@ -159,6 +169,8 @@ func (s *ChannelSelector) Refresh(now time.Time) (Action, error) {
 				s.current.MaxEIRPdBm = ci.MaxEIRPdBm
 			}
 		}
+		s.stats.Renewed++
+		s.transition(StateGranted, now, "lease renewed")
 		return NoChange, nil
 	}
 
@@ -166,16 +178,58 @@ func (s *ChannelSelector) Refresh(now time.Time) (Action, error) {
 	switch {
 	case !ok && had:
 		s.current = nil
+		s.transition(StateVacated, now, "channel withdrawn")
 		return Vacated, nil
 	case !ok:
 		return NoChange, fmt.Errorf("core: no usable channel offered")
 	case had:
 		s.current = next
+		s.stats.Switched++
+		s.transition(StateGranted, now, "channel switched")
 		return Switched, nil
 	default:
 		s.current = next
+		s.stats.Acquired++
+		s.transition(StateGranted, now, "channel acquired")
 		return Acquired, nil
 	}
+}
+
+// refreshFailed reconciles a failed database poll against the vacate
+// budget: regulatory denials vacate immediately; transient failures
+// ride the grace period until min(lease expiry, last contact +
+// VacateDeadline); past the budget the fail-safe fires.
+func (s *ChannelSelector) refreshFailed(now time.Time, err error) (Action, error) {
+	if paws.Classify(err) == paws.RegulatoryDeny && s.current != nil {
+		s.current = nil
+		s.transition(StateVacated, now, "regulatory deny")
+		return Vacated, err
+	}
+	if s.current == nil {
+		// Off-channel: keep acquiring; nothing to vacate.
+		return NoChange, err
+	}
+	if now.After(s.VacateBy()) {
+		s.current = nil
+		s.transition(StateVacated, now, "vacate budget expired")
+		return Vacated, err
+	}
+	s.transition(StateGracePeriod, now, "renewal failed")
+	return NoChange, err
+}
+
+// usableAt drops offers that are already expired at the poll time. A
+// clock-skewed database can hand out leases that end in the past;
+// treating them as absent (rather than carrying a dead lease) is what
+// keeps Granted ⇒ TransmitAllowed coherent.
+func usableAt(avail []spectrum.ChannelInfo, now time.Time) []spectrum.ChannelInfo {
+	out := avail[:0]
+	for _, ci := range avail {
+		if ci.Until.After(now) {
+			out = append(out, ci)
+		}
+	}
+	return out
 }
 
 func (s *ChannelSelector) channelStillOffered(avail []spectrum.ChannelInfo) bool {

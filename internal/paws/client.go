@@ -2,9 +2,14 @@ package paws
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
+	"mime"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,12 +24,22 @@ import (
 // global http.DefaultClient.
 var defaultHTTPClient = &http.Client{Timeout: 10 * time.Second}
 
+// maxResponseBytes caps how much of a database response the client
+// will buffer. A misbehaving (or malicious) database streaming an
+// unbounded body must not OOM an access point; no legitimate PAWS
+// answer approaches a mebibyte.
+const maxResponseBytes = 1 << 20
+
 // Client is the device-side PAWS implementation a CellFi access point
 // embeds. It issues JSON-RPC calls against a database URL.
 //
 // A single Client manages the access point and all its mobile clients:
 // per Section 4.2 of the paper, mobile devices use the AP's generic
 // location parameters, so only the AP ever queries the database.
+//
+// Every call failure is a *paws.Error carrying an ErrorClass, and with
+// Retry configured the client absorbs Transient failures behind
+// bounded exponential backoff before surfacing one.
 type Client struct {
 	// URL is the database endpoint.
 	URL string
@@ -33,8 +48,32 @@ type Client struct {
 	HTTPClient *http.Client
 	// Device identifies this access point.
 	Device DeviceDescriptor
+	// Retry bounds in-call retries of Transient failures. The zero
+	// value is single-shot.
+	Retry RetryPolicy
+	// CallTimeout is a per-attempt deadline applied via context; zero
+	// falls back to the HTTP client's own timeout.
+	CallTimeout time.Duration
 
 	nextID int64
+
+	retryMu  sync.Mutex
+	retryRNG *rand.Rand
+}
+
+// jitterU draws from the client's seeded jitter stream, creating it on
+// first use from Retry.Seed.
+func (c *Client) jitterU() float64 {
+	c.retryMu.Lock()
+	defer c.retryMu.Unlock()
+	if c.retryRNG == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.retryRNG = rand.New(rand.NewSource(seed))
+	}
+	return c.retryRNG.Float64()
 }
 
 // NewClient returns a client for the given database URL and device
@@ -52,43 +91,114 @@ func NewClient(url, serial string) *Client {
 	}
 }
 
+// call runs one JSON-RPC method with the client's retry policy:
+// Transient failures are retried up to Retry.MaxAttempts with
+// exponential backoff and jitter; Fatal and RegulatoryDeny failures
+// surface immediately.
 func (c *Client) call(method string, params, result any) error {
 	raw, err := json.Marshal(params)
 	if err != nil {
-		return fmt.Errorf("paws: encode params: %w", err)
+		return &Error{Method: method, Class: Fatal, Attempts: 1,
+			Err: fmt.Errorf("encode params: %w", err)}
+	}
+	attempts := 1
+	if c.Retry.enabled() {
+		attempts = c.Retry.MaxAttempts
+	}
+	var last *Error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		last = c.callOnce(method, raw, result)
+		if last == nil {
+			return nil
+		}
+		last.Attempts = attempt
+		if last.Class != Transient || attempt == attempts {
+			break
+		}
+		c.Retry.sleep(c.Retry.backoff(attempt, c.jitterU()))
+	}
+	return last
+}
+
+// callOnce performs a single HTTP exchange. It returns nil on success
+// and a classified *Error otherwise.
+func (c *Client) callOnce(method string, params json.RawMessage, result any) *Error {
+	fail := func(class ErrorClass, err error) *Error {
+		return &Error{Method: method, Class: class, Err: err}
 	}
 	req := rpcRequest{
 		JSONRPC: "2.0",
 		Method:  method,
-		Params:  raw,
+		Params:  params,
 		ID:      atomic.AddInt64(&c.nextID, 1),
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return fmt.Errorf("paws: encode request: %w", err)
+		return fail(Fatal, fmt.Errorf("encode request: %w", err))
 	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = defaultHTTPClient
 	}
-	httpResp, err := hc.Post(c.URL, "application/json", bytes.NewReader(body))
+	ctx := context.Background()
+	if c.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.CallTimeout)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("paws: %s: %w", method, err)
+		return fail(Fatal, fmt.Errorf("build request: %w", err))
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := hc.Do(httpReq)
+	if err != nil {
+		// Network-level failure: connection refused/reset, timeout.
+		return fail(Transient, err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		return fmt.Errorf("paws: %s: HTTP %d", method, httpResp.StatusCode)
+		class := Fatal
+		if httpResp.StatusCode >= 500 {
+			class = Transient
+		}
+		// Drain (bounded) so the connection can be reused.
+		io.Copy(io.Discard, io.LimitReader(httpResp.Body, maxResponseBytes))
+		return fail(class, fmt.Errorf("HTTP %d", httpResp.StatusCode))
 	}
+	if mt, _, err := mime.ParseMediaType(httpResp.Header.Get("Content-Type")); err != nil || mt != "application/json" {
+		// A proxy error page or garbage endpoint; retryable because
+		// intermediaries come and go.
+		return fail(Transient, fmt.Errorf("non-JSON content type %q", httpResp.Header.Get("Content-Type")))
+	}
+	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, maxResponseBytes+1))
+	if err != nil {
+		return fail(Transient, fmt.Errorf("read response: %w", err))
+	}
+	if len(respBody) > maxResponseBytes {
+		return fail(Transient, fmt.Errorf("response exceeds %d bytes", maxResponseBytes))
+	}
+	return decodeRPCResponse(method, respBody, result)
+}
+
+// decodeRPCResponse parses a JSON-RPC response body into result. It is
+// the parsing surface FuzzParse exercises: arbitrary bytes must yield
+// either a nil error or a classified *Error, never a panic.
+func decodeRPCResponse(method string, body []byte, result any) *Error {
 	var resp rpcResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return fmt.Errorf("paws: decode response: %w", err)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		// Malformed or truncated JSON: classically a torn connection
+		// or a mid-failover proxy — retryable.
+		return &Error{Method: method, Class: Transient,
+			Err: fmt.Errorf("decode response: %w", err)}
 	}
 	if resp.Error != nil {
-		return resp.Error
+		return &Error{Method: method, Class: classifyRPC(resp.Error), Err: resp.Error}
 	}
 	if result != nil {
 		if err := json.Unmarshal(resp.Result, result); err != nil {
-			return fmt.Errorf("paws: decode result: %w", err)
+			return &Error{Method: method, Class: Transient,
+				Err: fmt.Errorf("decode result: %w", err)}
 		}
 	}
 	return nil
@@ -122,7 +232,9 @@ func (c *Client) GetSpectrum(location geo.Point, antennaHeightM float64) (AvailS
 	return out, err
 }
 
-// NotifyUse reports the spectrum this device is transmitting in.
+// NotifyUse reports the spectrum this device is transmitting in. An
+// empty spectra list is the cessation report a vacating AP sends on
+// shutdown.
 func (c *Client) NotifyUse(location geo.Point, spectra []FrequencyRange) error {
 	return c.call(MethodNotifyUse, NotifyUseReq{
 		DeviceDesc: c.Device, Location: ToGeo(location), Spectra: spectra,

@@ -1,0 +1,93 @@
+package paws
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorClass partitions PAWS call failures by what the caller should
+// do about them. The channel-selection state machine keys its
+// grace-period / vacate decisions off this classification.
+type ErrorClass int
+
+const (
+	// Transient: the database may answer on retry — network errors,
+	// timeouts, 5xx, malformed or truncated responses. The AP keeps
+	// its lease and retries within the vacate budget.
+	Transient ErrorClass = iota
+	// Fatal: retrying the identical call cannot succeed — protocol
+	// misuse, unsupported method, un-encodable requests, 4xx. The AP
+	// needs operator attention, not a retry loop.
+	Fatal
+	// RegulatoryDeny: the database answered and the answer is "no
+	// spectrum for you here" (e.g. outside coverage). The AP must not
+	// ride out a grace period — it vacates immediately.
+	RegulatoryDeny
+)
+
+func (c ErrorClass) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Fatal:
+		return "fatal"
+	case RegulatoryDeny:
+		return "regulatory-deny"
+	}
+	return "?"
+}
+
+// Error is the typed failure every Client call returns: the method
+// that failed, its retry classification, and how many attempts were
+// made before giving up.
+type Error struct {
+	Method   string
+	Class    ErrorClass
+	Attempts int
+	Err      error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("paws: %s: %v (%s, %d attempts)", e.Method, e.Err, e.Class, e.Attempts)
+	}
+	return fmt.Sprintf("paws: %s: %v (%s)", e.Method, e.Err, e.Class)
+}
+
+// Unwrap exposes the underlying cause (errors.As reaches *RPCError
+// through it).
+func (e *Error) Unwrap() error { return e.Err }
+
+// Classify reports the ErrorClass of any error a Client call
+// returned. Unrecognised errors classify as Transient: when in doubt
+// the safe reading is "the database might still answer", because the
+// grace-period budget, not the classification, is what bounds how
+// long an AP keeps transmitting.
+func Classify(err error) ErrorClass {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Class
+	}
+	var rpc *RPCError
+	if errors.As(err, &rpc) {
+		return classifyRPC(rpc)
+	}
+	return Transient
+}
+
+// classifyRPC maps PAWS protocol error codes onto classes.
+func classifyRPC(e *RPCError) ErrorClass {
+	switch e.Code {
+	case ErrCodeOutsideCoverage:
+		// The database serves this region but offers the device
+		// nothing: a regulatory answer, not a malfunction.
+		return RegulatoryDeny
+	case ErrCodeVersion, ErrCodeUnsupported, ErrCodeMissing,
+		ErrCodeInvalidValue, ErrCodeNotRegistered:
+		return Fatal
+	}
+	// Unknown PAWS codes: the database is answering coherently, so a
+	// retry of the same request is pointless.
+	return Fatal
+}

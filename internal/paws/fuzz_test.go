@@ -11,6 +11,46 @@ import (
 	"cellfi/internal/spectrum"
 )
 
+// FuzzParse throws arbitrary bytes at the client-side JSON-RPC
+// response parser — the surface a chaos injector's malformed-JSON,
+// truncation and clock-skew faults hit. It must never panic, and on
+// success the decoded result must be structurally sane.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"jsonrpc":"2.0","result":{},"id":1}`,
+		`{"jsonrpc":"2.0","error":{"code":-104,"message":"outside coverage"},"id":1}`,
+		`{"jsonrpc":"2.0","result":{"spectrumSchedules":[{"startTime":"2017-12-12T09:00:00Z","stopTime":"2017-12-12T21:00:00Z","spectra":[{"startHz":4.74e8,"stopHz":4.82e8,"maxEirpDbm":36,"channel":21}]}]},"id":2}`,
+		`{"jsonrpc":"2.0","result":{"spectrumSchedules":[{"stopTime":"2000-01-01T00:00:00Z"}]},"id":3}`,
+		`{"jsonrpc":"2.0","result":{"truncated`,
+		`{"jsonrpc":"2.0","result":12345,"id":4}`,
+		`null`,
+		"\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var out AvailSpectrumResp
+		err := decodeRPCResponse(MethodGetSpectrum, body, &out)
+		if err == nil {
+			// A successful parse must yield a response whose Channels
+			// flattening does not panic either.
+			_ = out.Channels()
+			return
+		}
+		switch err.Class {
+		case Transient, Fatal, RegulatoryDeny:
+		default:
+			t.Fatalf("unclassified parse error %v for %q", err, body)
+		}
+		if err.Error() == "" {
+			t.Fatalf("empty error string for %q", body)
+		}
+	})
+}
+
 // FuzzServerRobustness throws arbitrary bodies at the PAWS endpoint:
 // the server must never panic and must always answer with either an
 // HTTP error or a well-formed JSON-RPC envelope.

@@ -14,7 +14,14 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (runner, sim, core)"
-go test -race ./internal/runner ./internal/sim ./internal/core
+echo "== go test -race (runner, sim, core, paws, faults)"
+go test -race ./internal/runner ./internal/sim ./internal/core ./internal/paws ./internal/faults
+
+# Optional chaos stage: VERIFY_CHAOS=1 adds the full fault-injection
+# soak (the ETSI vacate property suite, 5x under -race) on top.
+if [ "${VERIFY_CHAOS:-0}" = "1" ]; then
+	echo "== make chaos (ETSI vacate property soak)"
+	make chaos
+fi
 
 echo "verify: OK"
