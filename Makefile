@@ -26,8 +26,17 @@ chaos:
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/paws
 
+# bench runs the hot-path benchmark suite with allocation tracking:
+# the sim event core, the Wi-Fi CSMA and LTE subframe loops, the
+# propagation link cache, and the runner fleet.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/sim ./internal/runner
+	$(GO) test -bench . -benchmem -benchtime 100ms -run '^$$' \
+		./internal/sim ./internal/propagation ./internal/wifi ./internal/lte ./internal/runner
+
+# Regenerate the committed engine benchmark artifact (also enforces
+# 0 allocs/op on Schedule+fire and the >=2x speedup floor).
+BENCH_sim.json: FORCE
+	SIM_BENCH_OUT=$(CURDIR)/BENCH_sim.json $(GO) test -run TestEngineBenchArtifact -count 1 -v .
 
 # Regenerate the committed runner speedup artifact.
 BENCH_runner.json: FORCE

@@ -1,0 +1,309 @@
+// BENCH_sim.json writer: regenerates the committed engine-performance
+// baseline when SIM_BENCH_OUT is set (see `make BENCH_sim.json`). It
+// lives at the repo root so it can benchmark the sim event core and the
+// Wi-Fi/LTE hot loops that sit on top of it in one artifact.
+package cellfi_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/propagation"
+	"cellfi/internal/sim"
+	"cellfi/internal/wifi"
+)
+
+// baselineEventsPerSec is engine_events_per_sec from the committed
+// BENCH_runner.json, measured on the pre-rewrite engine by the PR 1
+// campaign (TotalSimEvents / summed run wall time): heap-allocated
+// *Event per Schedule, container/heap boxing, O(n) Pending.
+const baselineEventsPerSec = 12661001.198343981
+
+// benchResult captures one benchmark's numbers for the artifact.
+type benchResult struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	out := benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if out.NsPerOp > 0 {
+		out.EventsPerSec = 1e9 / out.NsPerOp
+	}
+	return out
+}
+
+// simBenchArtifact is the schema of BENCH_sim.json. The baseline block
+// carries the pre-rewrite numbers so the speedup stays legible after
+// the old code is gone; the engine blocks measure the slot-array event
+// core; csma_slot_loop_ms and lte_subframe blocks track the protocol
+// hot paths per unit of virtual time (one op = 1 ms / one subframe).
+type simBenchArtifact struct {
+	Generated   time.Time `json:"generated"`
+	GoMaxProcs  int       `json:"go_max_procs"`
+	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	Description string    `json:"description"`
+
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	BaselineSource       string  `json:"baseline_source"`
+
+	// EngineEventsPerSec is the headline number: pure Schedule+fire
+	// dispatch on a depth-1 chain (the same queue shape the baseline
+	// campaign measured). SpeedupVsBaseline divides it by the baseline.
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	SpeedupVsBaseline  float64 `json:"speedup_vs_baseline"`
+
+	// Engine paths, all measured with -benchmem semantics.
+	ScheduleFire   benchResult `json:"schedule_fire"`
+	Fan64Dispatch  benchResult `json:"fan64_dispatch"`
+	ScheduleCancel benchResult `json:"schedule_cancel"`
+	TickerPeriod   benchResult `json:"ticker_period"`
+
+	// Protocol hot loops above the engine. One op simulates 1 ms of a
+	// two-BSS 802.11af contention domain (CSMA) or one TDD subframe of
+	// a 4-UE cell with an interferer (LTE), both on cached link gains.
+	CSMASlotLoopMS  benchResult `json:"csma_slot_loop_ms"`
+	LTESubframe     benchResult `json:"lte_subframe"`
+	LTESchedulerOp  benchResult `json:"lte_scheduler_allocate"`
+	LinkLossCached  benchResult `json:"link_loss_cached"`
+	LinkLossModeled benchResult `json:"link_loss_modeled"`
+}
+
+// The closures below mirror the in-package benchmarks
+// (internal/sim/bench_test.go, internal/wifi/bench_test.go,
+// internal/lte/bench_test.go) using only exported API, since test
+// functions are not importable across packages.
+
+func benchScheduleFire(b *testing.B) {
+	e := sim.NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunAll()
+}
+
+func benchFan64(b *testing.B) {
+	const fan = 64
+	e := sim.NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	for i := 0; i < fan && i < b.N; i++ {
+		e.After(time.Duration(i)*time.Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunAll()
+}
+
+func benchScheduleCancel(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+time.Duration(i%97)*time.Microsecond, fn)
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func benchTicker(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := 0
+	e.Every(time.Millisecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += time.Millisecond
+		e.Run(horizon)
+	}
+}
+
+func benchCSMASlotLoop(b *testing.B) {
+	eng := sim.NewEngine(1)
+	model := propagation.DefaultUrban(1)
+	model.ShadowSigmaDB = 0
+	n := wifi.NewNetwork(eng, model, wifi.Params11af())
+	for i := 0; i < 2; i++ {
+		ap := n.AddAP(i, geo.Point{X: float64(i) * 120}, 20)
+		for c := 0; c < 2; c++ {
+			cl := n.AddClient(100+10*i+c, geo.Point{X: float64(i)*120 + 30 + float64(c)*10}, 20, ap)
+			ap.Enqueue(cl, 1<<40)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += time.Millisecond
+		eng.Run(horizon)
+	}
+}
+
+func benchLTESubframe(b *testing.B) {
+	eng := sim.NewEngine(1)
+	env := lte.NewEnvironment(1)
+	cell := &lte.Cell{
+		ID: 1, TxPowerDBm: 30,
+		BW: lte.BW5MHz, TDD: lte.TDDConfig4, Activity: lte.FullBuffer,
+	}
+	interferer := &lte.Cell{
+		ID: 2, Pos: geo.Point{X: 900}, TxPowerDBm: 30,
+		BW: lte.BW5MHz, TDD: lte.TDDConfig4, Activity: lte.FullBuffer,
+	}
+	var clients []*lte.Client
+	for i, d := range []float64{100, 250, 400, 600} {
+		clients = append(clients, &lte.Client{ID: 100 + i, Pos: geo.Point{X: d}, TxPowerDBm: 20})
+	}
+	cs := lte.NewCellSim(eng, env, cell, clients)
+	cs.Interferers = []*lte.Cell{interferer}
+	cs.Start()
+	for _, cl := range clients {
+		cs.Backlog(cl.ID, 1<<40)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += lte.SubframeDuration
+		eng.Run(horizon)
+	}
+}
+
+func benchLTEScheduler(b *testing.B) {
+	bw := lte.BW5MHz
+	s := bw.Subchannels()
+	allowed := make([]int, s)
+	for i := range allowed {
+		allowed[i] = i
+	}
+	ues := make([]*lte.SchedUE, 8)
+	for i := range ues {
+		cqi := make([]int, s)
+		for k := range cqi {
+			cqi[k] = 3 + (i+k)%10
+		}
+		ues[i] = &lte.SchedUE{ID: i, SubbandCQI: cqi}
+	}
+	pf := &lte.ProportionalFair{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range ues {
+			u.BacklogBits = 1 << 30
+		}
+		pf.Allocate(bw, allowed, ues)
+	}
+}
+
+func benchLinkLoss(cached bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		m := propagation.DefaultUrban(1)
+		c := propagation.NewLinkCache(m, 2)
+		tx, rx := geo.Point{}, geo.Point{X: 300}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cached {
+				c.LossDB(0, 1, tx, rx)
+			} else {
+				m.LinkLossDB(tx, rx)
+			}
+		}
+	}
+}
+
+// TestEngineBenchArtifact regenerates BENCH_sim.json when SIM_BENCH_OUT
+// is set. It fails if the Schedule+fire or Ticker paths allocate, or if
+// dispatch throughput falls below 2x the committed pre-rewrite
+// baseline.
+func TestEngineBenchArtifact(t *testing.T) {
+	out := os.Getenv("SIM_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SIM_BENCH_OUT to write BENCH_sim.json")
+	}
+
+	art := simBenchArtifact{
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Description: "sim.Engine event-core benchmarks: slot-array 4-ary min-heap with " +
+			"free-list recycling and generation-stamped handles. schedule_fire is one " +
+			"self-rescheduling chain (depth-1 heap, pure Schedule+fire cost); " +
+			"fan64_dispatch keeps 64 chains pending; schedule_cancel exercises the " +
+			"heap-remove path; ticker_period is the in-place periodic reschedule. " +
+			"csma_slot_loop_ms simulates 1 ms of a two-BSS 802.11af contention domain " +
+			"per op; lte_subframe simulates one TDD subframe of a 4-UE cell with an " +
+			"interferer per op, both on cached link gains (link_loss_cached vs " +
+			"link_loss_modeled shows the cache win). Engine paths must run at 0 " +
+			"amortized allocs/op.",
+		BaselineEventsPerSec: baselineEventsPerSec,
+		BaselineSource: "BENCH_runner.json engine_events_per_sec (pre-rewrite engine: " +
+			"heap-allocated *Event per Schedule, container/heap, O(n) Pending)",
+		ScheduleFire:    toResult(testing.Benchmark(benchScheduleFire)),
+		Fan64Dispatch:   toResult(testing.Benchmark(benchFan64)),
+		ScheduleCancel:  toResult(testing.Benchmark(benchScheduleCancel)),
+		TickerPeriod:    toResult(testing.Benchmark(benchTicker)),
+		CSMASlotLoopMS:  toResult(testing.Benchmark(benchCSMASlotLoop)),
+		LTESubframe:     toResult(testing.Benchmark(benchLTESubframe)),
+		LTESchedulerOp:  toResult(testing.Benchmark(benchLTEScheduler)),
+		LinkLossCached:  toResult(testing.Benchmark(benchLinkLoss(true))),
+		LinkLossModeled: toResult(testing.Benchmark(benchLinkLoss(false))),
+	}
+	art.EngineEventsPerSec = art.ScheduleFire.EventsPerSec
+	art.SpeedupVsBaseline = art.EngineEventsPerSec / baselineEventsPerSec
+
+	if art.ScheduleFire.AllocsPerOp != 0 {
+		t.Errorf("Schedule+fire allocates %d allocs/op, want 0", art.ScheduleFire.AllocsPerOp)
+	}
+	if art.TickerPeriod.AllocsPerOp != 0 {
+		t.Errorf("Ticker period allocates %d allocs/op, want 0", art.TickerPeriod.AllocsPerOp)
+	}
+	if art.SpeedupVsBaseline < 2 {
+		t.Errorf("engine dispatch %.0f events/sec is %.2fx baseline %.0f, want >= 2x",
+			art.EngineEventsPerSec, art.SpeedupVsBaseline, baselineEventsPerSec)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.1fM events/sec (%.1fx baseline)", out,
+		art.EngineEventsPerSec/1e6, art.SpeedupVsBaseline)
+}

@@ -8,6 +8,7 @@
 //	           [-epochs 30] [-seed 1] [-area 2000]
 //	           [-no-packing] [-perfect-sensing] [-lambda 10]
 //	           [-trials 1] [-workers N]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // With -trials > 1 the scenario repeats over independently seeded
 // topologies, fanned across -workers goroutines; per-trial summaries
@@ -22,6 +23,7 @@ import (
 	"sort"
 
 	"cellfi/internal/netsim"
+	"cellfi/internal/profiling"
 	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
@@ -39,7 +41,14 @@ func main() {
 	lambda := flag.Float64("lambda", 10, "hopping bucket mean")
 	trials := flag.Int("trials", 1, "independent topologies to run")
 	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatalf("cellfi-sim: %v", err)
+	}
+	defer stopProf()
 
 	var s netsim.Scheme
 	switch *scheme {

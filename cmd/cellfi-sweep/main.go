@@ -8,6 +8,7 @@
 //	             [-clients 6] [-trials 3] [-epochs 20] [-seed 1]
 //	             [-bw 5] [-starve 0.05] [-workers N]
 //	             [-telemetry report.json]
+//	             [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // Output columns: scheme, aps, clients_per_ap, trial, median_mbps,
 // mean_mbps, p10_mbps, p90_mbps, starved_frac, total_mbps, hops.
@@ -29,6 +30,7 @@ import (
 
 	"cellfi/internal/lte"
 	"cellfi/internal/netsim"
+	"cellfi/internal/profiling"
 	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 	"cellfi/internal/topo"
@@ -78,7 +80,14 @@ func main() {
 	starve := flag.Float64("starve", 0.05, "starvation threshold in Mbps")
 	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS)")
 	telemetry := flag.String("telemetry", "", "write campaign telemetry JSON to this path")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatalf("cellfi-sweep: %v", err)
+	}
+	defer stopProf()
 
 	schemes, err := parseSchemes(*schemesFlag)
 	if err != nil {

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-id fig9b] [-seed 1] [-quick] [-series] [-list]
-//	            [-workers N] [-telemetry report.json] [-progress]
+//	            [-workers N] [-telemetry report.json]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out] [-progress]
 //
 // Without -id it runs every experiment in presentation order. -quick
 // trades trial counts for speed; -series additionally dumps the raw
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"cellfi/internal/experiments"
+	"cellfi/internal/profiling"
 	"cellfi/internal/runner"
 	"cellfi/internal/stats"
 )
@@ -34,7 +36,15 @@ func main() {
 	workers := flag.Int("workers", 0, "scenario-fleet workers (0 = GOMAXPROCS)")
 	telemetry := flag.String("telemetry", "", "write merged campaign telemetry JSON to this path")
 	progress := flag.Bool("progress", false, "report per-run fleet progress on stderr")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	experiments.SetWorkers(*workers)
 	if *progress {

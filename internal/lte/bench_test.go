@@ -1,0 +1,102 @@
+package lte
+
+import (
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/sim"
+)
+
+// benchCellSim builds a cell with four backlogged clients at staggered
+// ranges and an always-on interfering cell, so the subframe loop
+// exercises scheduling, DCI encode/decode, HARQ and interference-laden
+// SINR lookups every downlink subframe.
+func benchCellSim(b *testing.B) (*sim.Engine, *CellSim) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	env := NewEnvironment(1)
+	cell := &Cell{
+		ID: 1, Pos: geo.Point{}, TxPowerDBm: 30,
+		BW: BW5MHz, TDD: TDDConfig4, Activity: FullBuffer,
+	}
+	interferer := &Cell{
+		ID: 2, Pos: geo.Point{X: 900}, TxPowerDBm: 30,
+		BW: BW5MHz, TDD: TDDConfig4, Activity: FullBuffer,
+	}
+	var clients []*Client
+	for i, d := range []float64{100, 250, 400, 600} {
+		clients = append(clients, &Client{ID: 100 + i, Pos: geo.Point{X: d}, TxPowerDBm: 20})
+	}
+	cs := NewCellSim(eng, env, cell, clients)
+	cs.Interferers = []*Cell{interferer}
+	cs.Start()
+	for _, cl := range clients {
+		cs.Backlog(cl.ID, 1<<40)
+	}
+	return eng, cs
+}
+
+// BenchmarkLTESubframeLoop measures one subframe of the cell simulation
+// per op: TDD pattern, HARQ retransmissions, the MAC scheduler, DCI
+// codec and per-subchannel SINR/CQI (cached link gains). Allocations
+// are tracked because this is the engine's densest periodic callback;
+// see BENCH_sim.json.
+func BenchmarkLTESubframeLoop(b *testing.B) {
+	eng, _ := benchCellSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += SubframeDuration
+		eng.Run(horizon)
+	}
+}
+
+// BenchmarkLTESchedulerAllocate isolates the proportional-fair MAC
+// policy: one full-band allocation over eight backlogged UEs, no radio
+// model.
+func BenchmarkLTESchedulerAllocate(b *testing.B) {
+	bw := BW5MHz
+	s := bw.Subchannels()
+	allowed := make([]int, s)
+	for i := range allowed {
+		allowed[i] = i
+	}
+	ues := make([]*SchedUE, 8)
+	for i := range ues {
+		cqi := make([]int, s)
+		for k := range cqi {
+			cqi[k] = 3 + (i+k)%10
+		}
+		ues[i] = &SchedUE{ID: i, SubbandCQI: cqi}
+	}
+	pf := &ProportionalFair{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range ues {
+			u.BacklogBits = 1 << 30
+		}
+		pf.Allocate(bw, allowed, ues)
+	}
+}
+
+// Keep the fixture honest: the benchmark cell must actually deliver
+// traffic under the cached-gain fast path.
+func TestBenchCellSimDelivers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	env := NewEnvironment(1)
+	cell := &Cell{ID: 1, TxPowerDBm: 30, BW: BW5MHz, TDD: TDDConfig4, Activity: FullBuffer}
+	cl := &Client{ID: 100, Pos: geo.Point{X: 150}, TxPowerDBm: 20}
+	cs := NewCellSim(eng, env, cell, []*Client{cl})
+	cs.Start()
+	cs.Backlog(100, 1<<20)
+	eng.Run(time.Second)
+	if cs.DeliveredBits(100) == 0 {
+		t.Fatal("benchmark-shaped cell delivered nothing")
+	}
+	if env.Cache == nil || env.Cache.Stats().Hits == 0 {
+		t.Fatalf("link cache saw no hits: %+v", env.Cache.Stats())
+	}
+}

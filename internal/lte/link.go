@@ -105,23 +105,51 @@ type Environment struct {
 	Model         *propagation.Model
 	Fading        *propagation.Fading
 	NoiseFigureDB float64
+	// Cache, when non-nil, memoizes the static link loss (path loss +
+	// frozen shadowing) per (cell ID, client ID) pair, so per-subframe
+	// SINR/CQI queries over a static topology skip the full model —
+	// including the per-call RNG the shadowing term seeds. Positions
+	// are only consulted on a miss: code that moves a cell or client
+	// mid-run must call Invalidate with its ID. NewEnvironment enables
+	// the cache; zero-value Environments compute uncached.
+	Cache *propagation.LinkCache
 }
 
 // NewEnvironment builds the default evaluation environment: calibrated
-// urban propagation, block Rayleigh fading, 7 dB receiver noise figure.
+// urban propagation, block Rayleigh fading, 7 dB receiver noise figure,
+// link-gain caching on.
 func NewEnvironment(seed int64) *Environment {
+	model := propagation.DefaultUrban(seed)
 	return &Environment{
-		Model:         propagation.DefaultUrban(seed),
+		Model:         model,
 		Fading:        propagation.NewFading(seed + 1),
 		NoiseFigureDB: 7,
+		Cache:         propagation.NewLinkCache(model, 0),
 	}
+}
+
+// Invalidate marks every cached link touching the given cell or client
+// ID stale. Call after moving a node.
+func (e *Environment) Invalidate(nodeID int) {
+	if e.Cache != nil {
+		e.Cache.Invalidate(nodeID)
+	}
+}
+
+// linkLossDB returns the static link loss for the (cell, client) pair,
+// through the cache when one is attached to the current model.
+func (e *Environment) linkLossDB(cellID, clientID int, cellPos, clientPos geo.Point) float64 {
+	if e.Cache != nil && e.Cache.Model() == e.Model {
+		return e.Cache.LossDB(cellID, clientID, cellPos, clientPos)
+	}
+	return e.Model.LinkLossDB(cellPos, clientPos)
 }
 
 // rxPowerDBm returns the power a receiver at rxPos sees from cell tx on
 // one resource block of subchannel sc at time tMS.
 func (e *Environment) rxPowerDBm(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
 	gain := tx.Antenna.GainDB(tx.Pos.Bearing(rxPos))
-	loss := e.Model.LinkLossDB(tx.Pos, rxPos)
+	loss := e.linkLossDB(tx.ID, rxID, tx.Pos, rxPos)
 	fade := e.Fading.GainDB(propagation.LinkID(tx.ID, rxID), sc, tMS)
 	return tx.PerRBPowerDBm() + gain - loss + fade
 }
@@ -191,7 +219,9 @@ func (e *Environment) UplinkSINR(cl *Client, serving *Cell, nRBs, sc int, tMS in
 	}
 	perRB := cl.TxPowerDBm - 10*math.Log10(float64(nRBs))
 	gain := serving.Antenna.GainDB(serving.Pos.Bearing(cl.Pos))
-	loss := e.Model.LinkLossDB(cl.Pos, serving.Pos)
+	// Link loss is symmetric, so the uplink shares the downlink's
+	// (cell, client) cache entry.
+	loss := e.linkLossDB(serving.ID, cl.ID, serving.Pos, cl.Pos)
 	fade := e.Fading.GainDB(propagation.LinkID(cl.ID+1<<16, serving.ID), sc, tMS)
 	signal := perRB + gain - loss + fade
 	noise := propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)

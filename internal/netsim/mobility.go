@@ -78,6 +78,9 @@ func (n *Network) stepMobility() {
 				ang := cl.Pos.Bearing(st.waypoint)
 				cl.Pos = cl.Pos.Add(step*math.Cos(ang), step*math.Sin(ang))
 			}
+			// The client moved: drop its cached link gains before the
+			// budget refresh recomputes them at the new position.
+			n.linkCache.Invalidate(n.clientNode(ci))
 			n.refreshLinkBudget(ci)
 		}
 		// Strongest-cell handover with hysteresis.
@@ -101,7 +104,7 @@ func (n *Network) refreshLinkBudget(ci int) {
 	noisePRACH := propagation.NoiseDBm(6*lte.RBBandwidthHz, nf) + n.Cfg.PRACHFloorRiseDB
 	cl := n.Clients[ci]
 	for i, ap := range n.Cells {
-		loss := n.model.LinkLossDB(ap, cl.Pos)
+		loss := n.linkCache.LossDB(i, n.clientNode(ci), ap, cl.Pos)
 		n.rxRB[i][ci] = perRB + 6 - loss
 		n.prachSNR[i][ci] = n.Cfg.ClientPowerDBm + 6 - loss - noisePRACH
 	}

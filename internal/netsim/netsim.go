@@ -148,7 +148,12 @@ type Network struct {
 
 	model  *propagation.Model
 	fading *propagation.Fading
-	rng    *rand.Rand
+	// linkCache memoizes model.LinkLossDB per (cell, client) node
+	// pair; mobility steps invalidate a client's links before the
+	// budget refresh, so static clients never recompute shadowing.
+	// Node IDs: cell i -> i, client c -> len(Cells)+c.
+	linkCache *propagation.LinkCache
+	rng       *rand.Rand
 
 	// Cached link budget: rxRB[i][c] is the per-RB power client c
 	// receives from cell i, before fading.
@@ -199,6 +204,7 @@ func New(t *topo.Topology, cfg Config) *Network {
 			n.ClientsOf[i] = append(n.ClientsOf[i], c.Index)
 		}
 	}
+	n.linkCache = propagation.NewLinkCache(n.model, len(n.Cells)+len(n.Clients))
 	n.precomputeLinkBudget()
 	s := cfg.BW.Subchannels()
 	n.allowed = make([][]int, len(n.Cells))
@@ -273,12 +279,21 @@ func (n *Network) precomputeLinkBudget() {
 		n.rxRB[i] = make([]float64, len(n.Clients))
 		n.prachSNR[i] = make([]float64, len(n.Clients))
 		for c, cl := range n.Clients {
-			loss := n.model.LinkLossDB(ap, cl.Pos)
+			loss := n.linkCache.LossDB(i, n.clientNode(c), ap, cl.Pos)
 			// Omnidirectional cells with 6 dBi gain both ways.
 			n.rxRB[i][c] = perRB + 6 - loss
 			n.prachSNR[i][c] = prachTx + 6 - loss - noisePRACH
 		}
 	}
+}
+
+// clientNode maps a client index into the link-cache node-ID space,
+// past the cell IDs.
+func (n *Network) clientNode(c int) int { return len(n.Cells) + c }
+
+// LinkCacheStats exposes the link-gain cache counters for telemetry.
+func (n *Network) LinkCacheStats() propagation.CacheStats {
+	return n.linkCache.Stats()
 }
 
 // noiseRBDBm is the per-RB thermal noise floor.

@@ -1,0 +1,51 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoop(t *testing.T) {
+	stop, err := (&Config{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c := &Config{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	stop()
+	for _, p := range []string{c.CPUProfile, c.MemProfile, c.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	c := &Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := c.Start(); err == nil {
+		t.Fatal("Start with unwritable path did not error")
+	}
+}

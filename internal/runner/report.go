@@ -36,6 +36,14 @@ type RunResult struct {
 	// SimClockMS is the total virtual time advanced by tracked
 	// engines, in milliseconds.
 	SimClockMS float64 `json:"sim_clock_ms"`
+	// SimMaxPending is the deepest any tracked engine's event heap
+	// got — the run's peak event concurrency.
+	SimMaxPending int `json:"sim_max_pending,omitempty"`
+	// SimEventSlots sums the event slots tracked engines allocated.
+	// Slots recycle through a free list, so this is the engines'
+	// steady-state event memory, not the event count; a run whose
+	// slots stay near its pending depth schedules allocation-free.
+	SimEventSlots int `json:"sim_event_slots,omitempty"`
 	// Value is the scenario's return value (not serialized).
 	Value any `json:"-"`
 }

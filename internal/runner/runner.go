@@ -112,6 +112,10 @@ func (c *Ctx) collect(res *RunResult) {
 		st := e.Stats()
 		res.SimEvents += int64(st.Fired)
 		res.SimClockMS += float64(st.Clock) / float64(time.Millisecond)
+		if st.MaxPending > res.SimMaxPending {
+			res.SimMaxPending = st.MaxPending
+		}
+		res.SimEventSlots += st.EventSlots
 	}
 }
 

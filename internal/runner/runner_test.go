@@ -198,8 +198,20 @@ func TestTelemetry(t *testing.T) {
 	if rep.Runs[0].SimClockMS != 99 {
 		t.Fatalf("engine run SimClockMS = %v, want 99", rep.Runs[0].SimClockMS)
 	}
+	// All 100 events are queued before RunAll drains them, so the
+	// engine's peak queue depth and slot high-water mark are both 100.
+	if rep.Runs[0].SimMaxPending != 100 {
+		t.Fatalf("engine run SimMaxPending = %d, want 100", rep.Runs[0].SimMaxPending)
+	}
+	if rep.Runs[0].SimEventSlots != 100 {
+		t.Fatalf("engine run SimEventSlots = %d, want 100", rep.Runs[0].SimEventSlots)
+	}
 	if rep.Runs[1].SimEvents != 42 {
 		t.Fatalf("AddSteps run SimEvents = %d, want 42", rep.Runs[1].SimEvents)
+	}
+	if rep.Runs[1].SimMaxPending != 0 || rep.Runs[1].SimEventSlots != 0 {
+		t.Fatalf("engine-less run reports queue depth %d/%d, want 0/0",
+			rep.Runs[1].SimMaxPending, rep.Runs[1].SimEventSlots)
 	}
 	if rep.TotalSimEvents != 142 {
 		t.Fatalf("TotalSimEvents = %d, want 142", rep.TotalSimEvents)
@@ -230,7 +242,8 @@ func TestTelemetry(t *testing.T) {
 	}
 	runs := decoded["runs"].([]any)
 	first := runs[0].(map[string]any)
-	for _, key := range []string{"index", "label", "seed", "status", "wall_ms", "sim_events"} {
+	for _, key := range []string{"index", "label", "seed", "status", "wall_ms", "sim_events",
+		"sim_max_pending", "sim_event_slots"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("run JSON missing %q", key)
 		}

@@ -8,7 +8,7 @@ import (
 // BenchmarkEngine measures raw event dispatch throughput: a fixed fan
 // of self-rescheduling callbacks, reported in events/sec. This is the
 // hot loop under every CSMA and LTE simulation, so regressions here
-// show up directly in the bench trajectory (BENCH_runner.json).
+// show up directly in the bench trajectory (BENCH_sim.json).
 func BenchmarkEngine(b *testing.B) {
 	const fan = 64 // concurrent timer chains, a typical network's worth
 	e := NewEngine(1)
@@ -23,6 +23,29 @@ func BenchmarkEngine(b *testing.B) {
 	for i := 0; i < fan && i < b.N; i++ {
 		e.After(time.Duration(i)*time.Microsecond, tick)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunAll()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScheduleFire is the pure Schedule+fire cycle: one
+// self-rescheduling chain, so the heap stays at depth 1 and the number
+// measures the engine's fixed per-event cost with no queue pressure and
+// no user payload. This is the headline engine_events_per_sec in
+// BENCH_sim.json and must run at 0 amortized allocs/op.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.RunAll()
 	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
@@ -32,8 +55,11 @@ func BenchmarkEngine(b *testing.B) {
 // tickers and retransmission timers exercise.
 func BenchmarkEngineScheduleCancel(b *testing.B) {
 	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev := e.Schedule(e.Now()+time.Duration(i%97)*time.Microsecond, func() {})
+		ev := e.Schedule(e.Now()+time.Duration(i%97)*time.Microsecond, fn)
 		if i%2 == 0 {
 			ev.Cancel()
 		}
@@ -43,3 +69,25 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 	}
 	e.RunAll()
 }
+
+// BenchmarkTicker measures the periodic-event path: after construction
+// a Ticker must reschedule in place, alloc-free.
+func BenchmarkTicker(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	e.Every(time.Millisecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += time.Millisecond
+		e.Run(horizon)
+	}
+	if n < b.N {
+		b.Fatalf("ticks = %d, want >= %d", n, b.N)
+	}
+}
+
+// The BENCH_sim.json artifact writer lives in the repo root
+// (bench_artifact_test.go) so it can also measure the Wi-Fi CSMA and
+// LTE subframe loops without an import cycle.

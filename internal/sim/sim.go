@@ -6,10 +6,26 @@
 // given seed. All CellFi network simulations — the LTE subframe machinery,
 // the Wi-Fi CSMA state machines, traffic generators, and the CellFi
 // interference-management epoch loop — are driven by one Engine.
+//
+// # Event-core layout
+//
+// The scheduling core is allocation-free on the hot path. Events live in
+// a value slice of slots recycled through an intrusive free list, so a
+// steady-state simulation performs zero heap allocations per
+// Schedule/fire cycle: the slot array grows to peak concurrency once and
+// is reused forever after. The priority queue is a 4-ary min-heap of
+// slot indices ordered by (time, sequence) — the shallower tree halves
+// the sift depth versus a binary heap and keeps the hot comparisons in
+// one or two cache lines. Event handles returned by Schedule/After are
+// small values stamped with the slot's generation; a stale handle
+// (fired, cancelled, or slot since recycled) is detected by a generation
+// mismatch, which makes Cancel and Pending safe without per-event
+// pointers. Determinism is unaffected by the heap arity: the (time,
+// sequence) key is a strict total order, so the firing sequence is
+// byte-for-byte identical to any other correct priority queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,75 +35,76 @@ import (
 // It reuses time.Duration so callers can write 5*time.Millisecond.
 type Time = time.Duration
 
-// Event is a scheduled callback. The callback runs with the engine clock
-// set to the event's firing time.
+// Event is a handle to a scheduled callback. It is a small value, cheap
+// to copy and store; the zero value is an invalid handle on which Cancel
+// and Pending are safe no-ops. Handles are generation-stamped: once the
+// event fires or is cancelled the handle goes stale, and any later
+// Cancel/Pending on it is a no-op even if the engine has recycled the
+// underlying slot for a new event.
 type Event struct {
-	at     Time
-	seq    uint64 // FIFO tie-break for equal timestamps
-	fn     func()
-	index  int // heap index; -1 once removed
-	dead   bool
 	engine *Engine
+	at     Time
+	slot   int32
+	gen    uint32
 }
 
 // At reports the virtual time the event fires (or fired) at.
-func (e *Event) At() Time { return e.at }
+func (ev Event) At() Time { return ev.at }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.dead {
+// already fired, was already cancelled, or was never scheduled (the zero
+// handle) is a no-op; only a cancellation that actually removes a
+// pending event increments the engine's cancelled counter.
+func (ev Event) Cancel() {
+	e := ev.engine
+	if e == nil {
 		return
 	}
-	e.dead = true
-	e.engine.cancelled++
-	if e.index >= 0 {
-		heap.Remove(&e.engine.queue, e.index)
+	sl := &e.slots[ev.slot]
+	if sl.gen != ev.gen || sl.heapIdx < 0 {
+		return
 	}
+	e.heapRemoveAt(sl.heapIdx)
+	e.cancelled++
+	e.freeSlot(ev.slot)
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (ev Event) Pending() bool {
+	e := ev.engine
+	if e == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	sl := &e.slots[ev.slot]
+	return sl.gen == ev.gen && sl.heapIdx >= 0
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// slot is the in-engine storage of one event. Slots are recycled
+// through a free list; gen increments on every release so stale handles
+// can never act on a recycled slot.
+type slot struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	heapIdx  int32 // position in Engine.heap; -1 when free or fired
+	nextFree int32
+	gen      uint32
 }
 
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now       Time
-	queue     eventQueue
-	seq       uint64
-	fired     uint64
-	cancelled uint64
-	rng       *rand.Rand
-	stopped   bool
+	now   Time
+	slots []slot
+	heap  []int32 // 4-ary min-heap of slot indices, keyed by (at, seq)
+	// freeHead is the head of the free-slot list (-1 when empty).
+	freeHead   int32
+	seq        uint64
+	fired      uint64
+	cancelled  uint64
+	maxPending int
+	rng        *rand.Rand
+	stopped    bool
 	// streams hands out decorrelated child RNGs; see RNG.
 	streamSeed int64
 }
@@ -105,17 +122,28 @@ type Stats struct {
 	Clock Time
 	// Pending is the number of events still queued.
 	Pending int
+	// MaxPending is the high-water mark of the pending-event heap —
+	// the deepest the queue ever got.
+	MaxPending int
+	// EventSlots is the number of event slots the engine has ever
+	// allocated. Slots recycle through a free list, so this tracks
+	// peak event concurrency (steady-state memory footprint), not the
+	// total event count: once it plateaus, Schedule/fire cycles run
+	// allocation-free.
+	EventSlots int
 }
 
 // Stats returns a snapshot of the engine's counters. Like every other
 // Engine method it must be called from the simulation goroutine.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Scheduled: e.seq,
-		Fired:     e.fired,
-		Cancelled: e.cancelled,
-		Clock:     e.now,
-		Pending:   e.Pending(),
+		Scheduled:  e.seq,
+		Fired:      e.fired,
+		Cancelled:  e.cancelled,
+		Clock:      e.now,
+		Pending:    len(e.heap),
+		MaxPending: e.maxPending,
+		EventSlots: len(e.slots),
 	}
 }
 
@@ -125,6 +153,7 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		rng:        rand.New(rand.NewSource(seed)),
 		streamSeed: seed,
+		freeHead:   -1,
 	}
 }
 
@@ -147,20 +176,46 @@ func (e *Engine) NewStream(label string) *rand.Rand {
 	return rand.New(rand.NewSource(e.streamSeed ^ h))
 }
 
+// allocSlot pops a recycled slot or grows the slot array.
+func (e *Engine) allocSlot() int32 {
+	if s := e.freeHead; s >= 0 {
+		e.freeHead = e.slots[s].nextFree
+		return s
+	}
+	e.slots = append(e.slots, slot{heapIdx: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot releases a slot back to the free list, bumping its
+// generation so outstanding handles go stale.
+func (e *Engine) freeSlot(s int32) {
+	sl := &e.slots[s]
+	sl.fn = nil // release the closure for GC
+	sl.heapIdx = -1
+	sl.gen++
+	sl.nextFree = e.freeHead
+	e.freeHead = s
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it always indicates a model bug.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
-	heap.Push(&e.queue, ev)
-	return ev
+	s := e.allocSlot()
+	sl := &e.slots[s]
+	sl.at, sl.seq, sl.fn = at, e.seq, fn
+	e.heapPush(s)
+	if len(e.heap) > e.maxPending {
+		e.maxPending = len(e.heap)
+	}
+	return Event{engine: e, at: at, slot: s, gen: sl.gen}
 }
 
 // After runs fn after delay d from the current virtual time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -168,19 +223,23 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Every schedules fn to run periodically with the given period, starting
-// after one period. It returns a Ticker that can be stopped. If offset
-// is nonzero the first firing happens after offset instead.
+// after one period. It returns a Ticker that can be stopped. For an
+// explicit first-firing delay use EveryAt.
 func (e *Engine) Every(period Time, fn func()) *Ticker {
 	return e.EveryAt(period, period, fn)
 }
 
-// EveryAt is Every with an explicit first-firing delay.
+// EveryAt is Every with an explicit first-firing delay: the first firing
+// happens after first, subsequent firings every period.
 func (e *Engine) EveryAt(first, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.ev = e.After(first, t.tick)
+	// Bind the tick method once so periodic rescheduling reuses the
+	// same func value instead of allocating a closure per period.
+	t.tickFn = t.tick
+	t.ev = e.After(first, t.tickFn)
 	return t
 }
 
@@ -189,7 +248,8 @@ type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
-	ev      *Event
+	tickFn  func()
+	ev      Event
 	stopped bool
 }
 
@@ -199,7 +259,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have stopped us
-		t.ev = t.engine.After(t.period, t.tick)
+		t.ev = t.engine.After(t.period, t.tickFn)
 	}
 }
 
@@ -219,19 +279,18 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until Time) int {
 	e.stopped = false
 	n := 0
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		s := e.heap[0]
+		sl := &e.slots[s]
+		if sl.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		next.dead = true
+		e.now = sl.at
+		fn := sl.fn
+		e.heapPop()
+		e.freeSlot(s)
 		e.fired++
-		next.fn()
+		fn()
 		n++
 	}
 	if e.now < until {
@@ -246,28 +305,119 @@ func (e *Engine) Run(until Time) int {
 func (e *Engine) RunAll() int {
 	e.stopped = false
 	n := 0
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		next.dead = true
+	for len(e.heap) > 0 && !e.stopped {
+		s := e.heap[0]
+		sl := &e.slots[s]
+		e.now = sl.at
+		fn := sl.fn
+		e.heapPop()
+		e.freeSlot(s)
 		e.fired++
-		next.fn()
+		fn()
 		n++
 	}
 	return n
 }
 
 // Pending returns the number of scheduled (not yet fired or cancelled)
-// events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
+// events. Cancelled events leave the heap immediately, so this is O(1).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// The priority queue: a 4-ary min-heap of slot indices. Children of
+// node i sit at 4i+1..4i+4, the parent at (i-1)/4.
+
+// heapLess orders slots by firing time, FIFO within a time.
+func (e *Engine) heapLess(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapPush(s int32) {
+	i := int32(len(e.heap))
+	e.heap = append(e.heap, s)
+	e.slots[s].heapIdx = i
+	e.siftUp(i)
+}
+
+// heapPop removes and returns the minimum (root) slot index.
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	s := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.slots[last].heapIdx = 0
+		e.siftDown(0)
+	}
+	e.slots[s].heapIdx = -1
+	return s
+}
+
+// heapRemoveAt deletes the element at heap position i.
+func (e *Engine) heapRemoveAt(i int32) {
+	h := e.heap
+	n := int32(len(h)) - 1
+	s := h[i]
+	last := h[n]
+	e.heap = h[:n]
+	if i < n {
+		e.heap[i] = last
+		e.slots[last].heapIdx = i
+		e.siftDown(i)
+		if e.slots[last].heapIdx == i {
+			e.siftUp(i)
 		}
 	}
-	return n
+	e.slots[s].heapIdx = -1
+}
+
+func (e *Engine) siftUp(i int32) {
+	h := e.heap
+	s := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.heapLess(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.slots[h[i]].heapIdx = i
+		i = p
+	}
+	h[i] = s
+	e.slots[s].heapIdx = i
+}
+
+func (e *Engine) siftDown(i int32) {
+	h := e.heap
+	n := int32(len(h))
+	s := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.heapLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !e.heapLess(h[m], s) {
+			break
+		}
+		h[i] = h[m]
+		e.slots[h[i]].heapIdx = i
+		i = m
+	}
+	h[i] = s
+	e.slots[s].heapIdx = i
 }

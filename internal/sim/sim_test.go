@@ -84,12 +84,104 @@ func TestCancel(t *testing.T) {
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var victim *Event
+	var victim Event
 	e.After(5*time.Millisecond, func() { victim.Cancel() })
 	victim = e.After(10*time.Millisecond, func() { fired = true })
 	e.Run(time.Second)
 	if fired {
 		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+// Regression: Cancel must count a cancellation exactly once, and only
+// when it actually removes a pending event. Repeated cancels, cancels
+// of already-fired events, and cancels through the zero handle must not
+// inflate the cancelled counter.
+func TestCancelStatsCountOnce(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.After(time.Millisecond, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	ev.Cancel()
+	if got := e.Stats().Cancelled; got != 1 {
+		t.Fatalf("Cancelled after triple-cancel = %d, want 1", got)
+	}
+
+	fired := e.After(time.Millisecond, func() {})
+	e.Run(time.Second)
+	fired.Cancel() // already fired: must not count
+	fired.Cancel()
+	if got := e.Stats().Cancelled; got != 1 {
+		t.Fatalf("Cancelled after cancelling a fired event = %d, want still 1", got)
+	}
+
+	var never Event // never scheduled
+	never.Cancel()  // must be a safe no-op
+	if never.Pending() {
+		t.Fatal("zero-value handle reports Pending")
+	}
+	if got := e.Stats().Cancelled; got != 1 {
+		t.Fatalf("Cancelled after zero-handle cancel = %d, want still 1", got)
+	}
+}
+
+// A handle must go stale once its event fires, even if the engine has
+// recycled the slot for a newer event: cancelling through the stale
+// handle must not touch the new occupant.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine(1)
+	old := e.After(time.Millisecond, func() {})
+	e.Run(2 * time.Millisecond) // fires old, freeing its slot
+	replacementFired := false
+	repl := e.After(time.Millisecond, func() { replacementFired = true })
+	old.Cancel() // stale: must not cancel repl even if slots collide
+	if !repl.Pending() {
+		t.Fatal("stale Cancel removed a recycled slot's new event")
+	}
+	e.Run(time.Second)
+	if !replacementFired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// The slot array must recycle: a long chain of sequential events keeps
+// EventSlots at peak concurrency, not total event count.
+func TestSlotRecycling(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10000 {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll()
+	st := e.Stats()
+	if st.Fired != 10000 {
+		t.Fatalf("fired %d, want 10000", st.Fired)
+	}
+	if st.EventSlots > 2 {
+		t.Fatalf("EventSlots = %d after a depth-1 chain, want <= 2", st.EventSlots)
+	}
+	if st.MaxPending != 1 {
+		t.Fatalf("MaxPending = %d for a depth-1 chain, want 1", st.MaxPending)
+	}
+}
+
+func TestStatsMaxPending(t *testing.T) {
+	e := NewEngine(1)
+	for i := 1; i <= 50; i++ {
+		e.Schedule(Time(i)*time.Millisecond, func() {})
+	}
+	e.Run(time.Second)
+	st := e.Stats()
+	if st.MaxPending != 50 {
+		t.Fatalf("MaxPending = %d, want 50", st.MaxPending)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", st.Pending)
 	}
 }
 
@@ -291,6 +383,62 @@ func TestQuickHorizonRespected(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Stress the heap's remove path: schedule a large batch with random
+// times, cancel a random subset (including from inside callbacks), and
+// check that exactly the surviving events fire, in (time, FIFO) order.
+func TestRandomCancelStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine(int64(trial))
+		const n = 300
+		events := make([]Event, n)
+		firedSeq := make([]int, 0, n)
+		cancelled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(50)) * time.Millisecond
+			events[i] = e.Schedule(at, func() {
+				firedSeq = append(firedSeq, i)
+				// Occasionally cancel a random later event mid-run.
+				if v := rng.Intn(n); rng.Intn(4) == 0 && events[v].Pending() {
+					events[v].Cancel()
+					cancelled[v] = true
+				}
+			})
+		}
+		// Cancel a random subset up front.
+		for i := 0; i < n/4; i++ {
+			v := rng.Intn(n)
+			if events[v].Pending() {
+				events[v].Cancel()
+				cancelled[v] = true
+			}
+		}
+		e.RunAll()
+		if len(firedSeq)+len(cancelled) != n {
+			t.Fatalf("trial %d: fired %d + cancelled %d != %d",
+				trial, len(firedSeq), len(cancelled), n)
+		}
+		for _, i := range firedSeq {
+			if cancelled[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+		}
+		for j := 1; j < len(firedSeq); j++ {
+			a, b := events[firedSeq[j-1]], events[firedSeq[j]]
+			if b.At() < a.At() {
+				t.Fatalf("trial %d: out-of-order firing at %v after %v", trial, b.At(), a.At())
+			}
+			if b.At() == a.At() && firedSeq[j] < firedSeq[j-1] {
+				t.Fatalf("trial %d: FIFO tie-break violated", trial)
+			}
+		}
+		if got := int(e.Stats().Cancelled); got != len(cancelled) {
+			t.Fatalf("trial %d: Cancelled = %d, want %d", trial, got, len(cancelled))
+		}
 	}
 }
 

@@ -19,6 +19,12 @@ type Network struct {
 	Params Params
 	eng    *sim.Engine
 	model  *propagation.Model
+	// cache memoizes per-pair link loss: carrier sensing evaluates
+	// every active transmission at every contending node on every
+	// slot tick, all over a static topology, so the cached path turns
+	// the CSMA inner loop into table lookups. Nodes are keyed by
+	// their dense registration index.
+	cache  *propagation.LinkCache
 	rng    *rand.Rand
 	nodes  []*Node
 	aps    []*Node
@@ -75,6 +81,7 @@ func NewNetwork(eng *sim.Engine, model *propagation.Model, params Params) *Netwo
 		Params: params,
 		eng:    eng,
 		model:  model,
+		cache:  propagation.NewLinkCache(model, 0),
 		rng:    eng.NewStream("wifi:" + params.Name),
 	}
 }
@@ -85,7 +92,10 @@ type Node struct {
 	Pos        geo.Point
 	TxPowerDBm float64
 
-	net  *Network
+	net *Network
+	// idx is the node's dense registration index, the link-cache key
+	// (caller-chosen IDs may collide across APs and stations).
+	idx  int
 	isAP bool
 	// AP-side state.
 	clients   []*Node
@@ -100,14 +110,15 @@ type Node struct {
 	cw         int
 	retries    int
 	navUntil   sim.Time
-	slotEv     *sim.Event
-	deferEv    *sim.Event
+	slotEv     sim.Event
+	deferEv    sim.Event
 }
 
 // AddAP registers an access point.
 func (n *Network) AddAP(id int, pos geo.Point, txPowerDBm float64) *Node {
 	ap := &Node{
 		ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n, isAP: true,
+		idx:       len(n.nodes),
 		queue:     make(map[int]int64),
 		delivered: make(map[int]int64),
 		cw:        n.Params.CWMin,
@@ -119,7 +130,7 @@ func (n *Network) AddAP(id int, pos geo.Point, txPowerDBm float64) *Node {
 
 // AddClient attaches a client station to an AP.
 func (n *Network) AddClient(id int, pos geo.Point, txPowerDBm float64, ap *Node) *Node {
-	c := &Node{ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n}
+	c := &Node{ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n, idx: len(n.nodes)}
 	n.nodes = append(n.nodes, c)
 	ap.clients = append(ap.clients, c)
 	return c
@@ -146,9 +157,15 @@ func (ap *Node) QueuedBits(client *Node) int64 { return ap.queue[client.ID] }
 // DeliveredBits returns the bits successfully delivered to a client.
 func (ap *Node) DeliveredBits(client *Node) int64 { return ap.delivered[client.ID] }
 
-// rxPowerDBm is the power node rx sees from node tx.
+// rxPowerDBm is the power node rx sees from node tx, through the
+// link-gain cache (wifi topologies are static for a run).
 func (n *Network) rxPowerDBm(tx, rx *Node) float64 {
-	return tx.TxPowerDBm - n.model.LinkLossDB(tx.Pos, rx.Pos)
+	return tx.TxPowerDBm - n.cache.LossDB(tx.idx, rx.idx, tx.Pos, rx.Pos)
+}
+
+// LinkCacheStats exposes the link-gain cache counters for telemetry.
+func (n *Network) LinkCacheStats() propagation.CacheStats {
+	return n.cache.Stats()
 }
 
 // transmission is one frame in the air. interferers accumulates every
@@ -287,14 +304,10 @@ func (ap *Node) tryStart() {
 // reschedule (re)arms the defer/backoff machinery after any medium
 // state change.
 func (ap *Node) reschedule() {
-	if ap.slotEv != nil {
-		ap.slotEv.Cancel()
-		ap.slotEv = nil
-	}
-	if ap.deferEv != nil {
-		ap.deferEv.Cancel()
-		ap.deferEv = nil
-	}
+	ap.slotEv.Cancel()
+	ap.slotEv = sim.Event{}
+	ap.deferEv.Cancel()
+	ap.deferEv = sim.Event{}
 	if !ap.contending || ap.inTX {
 		return
 	}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# benchdiff.sh — guard against event-engine throughput regressions.
+#
+# Re-measures the engine's Schedule+fire dispatch rate and compares it
+# against engine_events_per_sec in the committed BENCH_sim.json. Exits
+# non-zero if throughput drops by more than BENCH_TOLERANCE_PCT
+# (default 10%). Benchmarks are noisy on loaded machines, so this is an
+# opt-in verify stage (VERIFY_BENCH=1 ./scripts/verify.sh), not part of
+# the default gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE=${BASELINE_FILE:-BENCH_sim.json}
+TOLERANCE_PCT=${BENCH_TOLERANCE_PCT:-10}
+
+if [ ! -f "$BASELINE_FILE" ]; then
+	echo "benchdiff: no $BASELINE_FILE baseline; run 'make BENCH_sim.json' first" >&2
+	exit 1
+fi
+
+baseline=$(sed -n 's/^  "engine_events_per_sec": \([0-9.e+]*\),*$/\1/p' "$BASELINE_FILE")
+if [ -z "$baseline" ]; then
+	echo "benchdiff: could not read engine_events_per_sec from $BASELINE_FILE" >&2
+	exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== benchdiff: re-measuring engine dispatch rate"
+SIM_BENCH_OUT="$tmp/bench.json" go test -run TestEngineBenchArtifact -count 1 . >/dev/null
+
+current=$(sed -n 's/^  "engine_events_per_sec": \([0-9.e+]*\),*$/\1/p' "$tmp/bench.json")
+if [ -z "$current" ]; then
+	echo "benchdiff: re-measurement produced no engine_events_per_sec" >&2
+	exit 1
+fi
+
+# Integer-percent comparison keeps this POSIX-sh portable: fail when
+# current * 100 < baseline * (100 - tolerance).
+awk -v cur="$current" -v base="$baseline" -v tol="$TOLERANCE_PCT" 'BEGIN {
+	ratio = cur / base * 100
+	printf "benchdiff: baseline %.2fM ev/s, current %.2fM ev/s (%.1f%%, floor %d%%)\n",
+		base / 1e6, cur / 1e6, ratio, 100 - tol
+	if (ratio < 100 - tol) {
+		printf "benchdiff: FAIL — engine throughput regressed more than %d%%\n", tol
+		exit 1
+	}
+	print "benchdiff: OK"
+}'

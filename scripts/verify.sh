@@ -24,4 +24,13 @@ if [ "${VERIFY_CHAOS:-0}" = "1" ]; then
 	make chaos
 fi
 
+# Optional bench stage: VERIFY_BENCH=1 re-measures engine dispatch
+# throughput and fails on a >10% regression versus the committed
+# BENCH_sim.json baseline. Opt-in because benchmarks are noisy on
+# shared hardware.
+if [ "${VERIFY_BENCH:-0}" = "1" ]; then
+	echo "== benchdiff (engine events/sec vs BENCH_sim.json)"
+	./scripts/benchdiff.sh
+fi
+
 echo "verify: OK"
