@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench sweep experiments fmt chaos fuzz-short
+.PHONY: all build test verify bench sweep experiments fmt chaos fuzz-short race
 
 all: build
 
@@ -22,9 +22,17 @@ verify:
 chaos:
 	$(GO) test -race -count=5 -run 'TestETSIVacateProperty|TestChaosDeterminism|TestChaosGoldenTransitionLog' ./internal/core
 
-# fuzz-short gives the PAWS client-side response parser a quick shake.
+# race runs the full test suite under the race detector (the verify
+# gate covers only the concurrency-bearing subset; this is the long
+# form, also reachable via VERIFY_RACE=1 ./scripts/verify.sh).
+race:
+	$(GO) test -race ./...
+
+# fuzz-short gives the parsing surfaces a quick shake: the PAWS
+# client-side response decoder and the flight-recorder stream decoder.
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/paws
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/trace
 
 # bench runs the hot-path benchmark suite with allocation tracking:
 # the sim event core, the Wi-Fi CSMA and LTE subframe loops, the
@@ -41,6 +49,12 @@ BENCH_sim.json: FORCE
 # Regenerate the committed runner speedup artifact.
 BENCH_runner.json: FORCE
 	RUNNER_BENCH_OUT=$(CURDIR)/BENCH_runner.json $(GO) test -run TestCampaignSpeedup -count 1 ./internal/runner
+
+# Regenerate the committed flight-recorder overhead artifact (also
+# enforces 0 allocs/op on the instrumented hot loops with tracing off
+# AND on).
+BENCH_trace.json: FORCE
+	TRACE_BENCH_OUT=$(CURDIR)/BENCH_trace.json $(GO) test -run TestTraceBenchArtifact -count 1 -v .
 
 FORCE:
 

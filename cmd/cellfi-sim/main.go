@@ -7,12 +7,16 @@
 //	cellfi-sim [-scheme cellfi|lte|oracle] [-aps 14] [-clients 6]
 //	           [-epochs 30] [-seed 1] [-area 2000]
 //	           [-no-packing] [-perfect-sensing] [-lambda 10]
-//	           [-trials 1] [-workers N]
+//	           [-trials 1] [-workers N] [-trace-dir DIR]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // With -trials > 1 the scenario repeats over independently seeded
 // topologies, fanned across -workers goroutines; per-trial summaries
 // print in trial order regardless of scheduling.
+//
+// With -trace-dir set, each trial flight-records its interference-
+// management decisions to DIR/run<trial>-trial_<n>.trace; inspect the
+// streams with cellfi-trace (dump, timeline, diff).
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	lambda := flag.Float64("lambda", 10, "hopping bucket mean")
 	trials := flag.Int("trials", 1, "independent topologies to run")
 	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	traceDir := flag.String("trace-dir", "", "flight-record each trial into this directory (must exist)")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -82,6 +87,7 @@ func main() {
 				cfg.PackingEnabled = !*noPacking
 				cfg.PerfectSensing = *perfect
 				cfg.Lambda = *lambda
+				cfg.Trace = c.Recorder()
 
 				n := netsim.New(tp, cfg)
 				out := trialResult{tp: tp, th: n.Run(*epochs), hops: n.Hops}
@@ -94,10 +100,16 @@ func main() {
 		})
 	}
 
-	rep := runner.Run(context.Background(), "cellfi-sim", specs, runner.Options{Workers: *workers})
+	rep := runner.Run(context.Background(), "cellfi-sim", specs,
+		runner.Options{Workers: *workers, TraceDir: *traceDir})
 	results, err := runner.Values[trialResult](rep)
 	if err != nil {
 		log.Fatalf("cellfi-sim: %v", err)
+	}
+	if *traceDir != "" {
+		for _, r := range rep.Runs {
+			fmt.Printf("trace: %s (%d records)\n", r.TracePath, r.TraceRecords)
+		}
 	}
 
 	for tr, r := range results {

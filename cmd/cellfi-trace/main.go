@@ -1,0 +1,323 @@
+// Command cellfi-trace decodes, filters, renders and diffs the binary
+// flight-recorder streams the simulators capture (internal/trace) — the
+// repo's answer to browsing QXDM logs.
+//
+// Usage:
+//
+//	cellfi-trace dump [-ap N] [-kind name] [-from ns] [-to ns] file.trace
+//	cellfi-trace info file.trace
+//	cellfi-trace timeline [-ap N] file.trace
+//	cellfi-trace diff a.trace b.trace
+//
+// dump prints one record per line in the stable textual form. info
+// summarizes a stream (record counts per kind, APs, time span).
+// timeline renders each AP's interference-management history as an
+// ASCII heatmap — subchannel rows × epoch columns, built from im-share
+// bitmasks, with hop-in (+) and hop-out (x) marks. diff compares two
+// streams record by record and exits 1 at the first divergence — the
+// determinism check behind "same seed, same trace".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cellfi/internal/stats"
+	"cellfi/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cellfi-trace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellfi-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cellfi-trace dump [-ap N] [-kind name] [-from ns] [-to ns] file.trace
+  cellfi-trace info file.trace
+  cellfi-trace timeline [-ap N] file.trace
+  cellfi-trace diff a.trace b.trace`)
+}
+
+// filter is the record predicate dump builds from its flags.
+type filter struct {
+	ap       int64
+	apSet    bool
+	kind     trace.Kind
+	kindSet  bool
+	from, to int64
+	toSet    bool
+}
+
+func (f *filter) match(r trace.Record) bool {
+	if f.apSet && int64(r.AP) != f.ap {
+		return false
+	}
+	if f.kindSet && r.Kind != f.kind {
+		return false
+	}
+	if r.T < f.from {
+		return false
+	}
+	if f.toSet && r.T > f.to {
+		return false
+	}
+	return true
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	ap := fs.Int64("ap", 0, "only records for this AP id (-1 = engine-level records)")
+	kind := fs.String("kind", "", "only records of this kind (e.g. im-hop, lease)")
+	from := fs.Int64("from", 0, "only records at or after this timestamp (ns)")
+	to := fs.Int64("to", 0, "only records at or before this timestamp (ns)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump: want exactly one trace file")
+	}
+	var f filter
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "ap":
+			f.ap, f.apSet = *ap, true
+		case "from":
+			f.from = *from
+		case "to":
+			f.to, f.toSet = *to, true
+		}
+	})
+	if *kind != "" {
+		k, ok := trace.ParseKind(*kind)
+		if !ok {
+			return fmt.Errorf("dump: unknown kind %q (see cellfi-trace info for names)", *kind)
+		}
+		f.kind, f.kindSet = k, true
+	}
+	recs, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, r := range recs {
+		if !f.match(r) {
+			continue
+		}
+		fmt.Println(r)
+		shown++
+	}
+	fmt.Fprintf(os.Stderr, "%d/%d records\n", shown, len(recs))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: want exactly one trace file")
+	}
+	path := fs.Arg(0)
+	recs, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records, %d bytes (%.1f bytes/record)\n",
+		path, len(recs), fi.Size(), perRecord(fi.Size(), len(recs)))
+	if len(recs) == 0 {
+		return nil
+	}
+	minT, maxT := recs[0].T, recs[0].T
+	byKind := map[trace.Kind]int{}
+	aps := map[int32]bool{}
+	for _, r := range recs {
+		if r.T < minT {
+			minT = r.T
+		}
+		if r.T > maxT {
+			maxT = r.T
+		}
+		byKind[r.Kind]++
+		aps[r.AP] = true
+	}
+	fmt.Printf("time span: %d .. %d ns (%.3f s)\n", minT, maxT, float64(maxT-minT)/1e9)
+	fmt.Printf("APs: %d distinct\n", len(aps))
+	kinds := make([]trace.Kind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-14s %d\n", k.String(), byKind[k])
+	}
+	return nil
+}
+
+func perRecord(size int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(size) / float64(n)
+}
+
+// cmdTimeline renders interference-management occupancy: for each AP a
+// heatmap of subchannel rows × epoch columns where a dark cell means
+// the subchannel was held that epoch (from the im-share bitmask), '+'
+// marks a hop onto the subchannel and 'x' a hop off it.
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	ap := fs.Int64("ap", -1, "render only this AP (-1 = all APs with IM records)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline: want exactly one trace file")
+	}
+	recs, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	type apHistory struct {
+		shares []trace.Record
+		hops   []trace.Record
+	}
+	hist := map[int32]*apHistory{}
+	maxSub := 0
+	for _, r := range recs {
+		if *ap >= 0 && int64(r.AP) != *ap {
+			continue
+		}
+		h := hist[r.AP]
+		switch r.Kind {
+		case trace.KindIMShare:
+			if h == nil {
+				h = &apHistory{}
+				hist[r.AP] = h
+			}
+			h.shares = append(h.shares, r)
+			for k := 0; k < 63; k++ {
+				if r.Args[1]&(1<<k) != 0 && k > maxSub {
+					maxSub = k
+				}
+			}
+		case trace.KindIMHop:
+			if h == nil {
+				h = &apHistory{}
+				hist[r.AP] = h
+			}
+			h.hops = append(h.hops, r)
+			for _, a := range []int64{r.Args[0], r.Args[1]} {
+				if int(a) > maxSub {
+					maxSub = int(a)
+				}
+			}
+		}
+	}
+	if len(hist) == 0 {
+		return fmt.Errorf("timeline: no interference-management records%s",
+			apSuffix(*ap))
+	}
+	ids := make([]int32, 0, len(hist))
+	for id := range hist {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h := hist[id]
+		if len(h.shares) == 0 {
+			continue
+		}
+		// One column per im-share epoch; map timestamps to columns so
+		// hop marks (stamped with the same epoch clock) land in place.
+		col := map[int64]int{}
+		for i, r := range h.shares {
+			col[r.T] = i
+		}
+		grid := make([][]float64, maxSub+1)
+		for k := range grid {
+			grid[k] = make([]float64, len(h.shares))
+		}
+		for i, r := range h.shares {
+			for k := 0; k <= maxSub && k < 63; k++ {
+				if r.Args[1]&(1<<k) != 0 {
+					grid[k][i] = 1
+				}
+			}
+		}
+		marks := map[[2]int]byte{}
+		for _, r := range h.hops {
+			c, ok := col[r.T]
+			if !ok {
+				continue // hop outside any recorded epoch (e.g. truncated stream)
+			}
+			if from := r.Args[0]; from >= 0 && int(from) <= maxSub {
+				marks[[2]int{int(from), c}] = 'x'
+			}
+			if to := r.Args[1]; to >= 0 && int(to) <= maxSub {
+				marks[[2]int{int(to), c}] = '+'
+			}
+		}
+		fmt.Printf("AP %d: %d epochs, %d hops (rows = subchannel 0..%d, cols = epochs; + hop in, x hop out)\n",
+			id, len(h.shares), len(h.hops), maxSub)
+		fmt.Print(stats.Heatmap(grid, marks))
+		fmt.Println()
+	}
+	return nil
+}
+
+func apSuffix(ap int64) string {
+	if ap < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" for AP %d", ap)
+}
+
+// cmdDiff compares two streams and exits nonzero at the first
+// divergence, printing its position, timestamps, APs and kinds.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two trace files")
+	}
+	a, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := trace.Diff(a, b)
+	fmt.Println(d.String())
+	if !d.Identical {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"cellfi/internal/lte"
 	"cellfi/internal/paws"
 	"cellfi/internal/spectrum"
+	"cellfi/internal/trace"
 )
 
 // Channel selection (Section 4.2): the CellFi AP maintains a valid TV-
@@ -118,6 +119,11 @@ type ChannelSelector struct {
 	// (telemetry hook; see lease.go). It must not call back into the
 	// selector.
 	OnTransition func(Transition)
+	// Trace, when non-nil, receives a lease record per state-machine
+	// edge, timestamped with the poll time that caused it; TraceAP
+	// tags the owning access point.
+	Trace   trace.Recorder
+	TraceAP int32
 
 	current     *Lease
 	state       LeaseState

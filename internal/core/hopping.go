@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"sort"
+
+	"cellfi/internal/trace"
 )
 
 // sortedKeysF returns the keys of a float-valued map in ascending order.
@@ -46,10 +48,44 @@ type Controller struct {
 	// default; off for the ablation).
 	PackingEnabled bool
 
+	// Trace, when non-nil, receives an im-share record per Epoch and
+	// an im-hop record per holding change; TraceAP tags them with the
+	// owning cell. The controller has no clock of its own, so the
+	// driving layer (internal/netsim) sets TraceNowNS to the epoch
+	// timestamp before each update.
+	Trace      trace.Recorder
+	TraceAP    int32
+	TraceNowNS int64
+
 	rng     *rand.Rand
 	buckets map[int]float64 // held subchannel -> remaining bucket value
 	// Hops counts subchannel changes (for convergence reporting).
 	Hops int
+}
+
+// traceHop emits one im-hop record; from/to use -1 for "none".
+func (c *Controller) traceHop(from, to, cause int64) {
+	if c.Trace == nil {
+		return
+	}
+	c.Trace.Record(trace.Record{T: c.TraceNowNS, AP: c.TraceAP, Kind: trace.KindIMHop,
+		N: 3, Args: [trace.MaxArgs]int64{from, to, cause}})
+}
+
+// traceShare emits the end-of-epoch im-share record: the target the
+// share calculation produced and the holdings the update settled on.
+func (c *Controller) traceShare(target int) {
+	if c.Trace == nil {
+		return
+	}
+	var mask int64
+	for k := range c.buckets {
+		if k < 63 {
+			mask |= 1 << k
+		}
+	}
+	c.Trace.Record(trace.Record{T: c.TraceNowNS, AP: c.TraceAP, Kind: trace.KindIMShare,
+		N: 3, Args: [trace.MaxArgs]int64{int64(target), mask, int64(len(c.buckets))}})
 }
 
 // EpochInput carries one epoch's observations into the controller.
@@ -134,10 +170,13 @@ func (c *Controller) Epoch(in EpochInput) []int {
 		c.buckets[k] -= frac
 		if c.buckets[k] <= 0 {
 			delete(c.buckets, k)
+			to := int64(-1)
 			if repl, ok := c.pickReplacement(in); ok {
 				c.buckets[repl] = c.drawBucket()
+				to = int64(repl)
 			}
 			c.Hops++
+			c.traceHop(int64(k), to, trace.HopCauseBucket)
 		}
 	}
 
@@ -145,7 +184,9 @@ func (c *Controller) Epoch(in EpochInput) []int {
 	for len(c.buckets) > target {
 		// Release the held subchannel with the lowest utility
 		// (least valuable to our clients).
-		c.release(in.Utility)
+		if dropped := c.release(in.Utility); dropped >= 0 {
+			c.traceHop(int64(dropped), -1, trace.HopCauseShareShrink)
+		}
 	}
 	for len(c.buckets) < target {
 		k, ok := c.pickReplacement(in)
@@ -153,6 +194,7 @@ func (c *Controller) Epoch(in EpochInput) []int {
 			break // nothing sensed free; try again next epoch
 		}
 		c.buckets[k] = c.drawBucket()
+		c.traceHop(-1, int64(k), trace.HopCauseShareGrow)
 	}
 
 	// 3. Channel re-use packing: migrate toward low-index free
@@ -170,14 +212,17 @@ func (c *Controller) Epoch(in EpochInput) []int {
 			delete(c.buckets, from)
 			c.buckets[to] = c.drawBucket()
 			c.Hops++
+			c.traceHop(int64(from), int64(to), trace.HopCausePack)
 		}
 	}
+	c.traceShare(target)
 	return c.Held()
 }
 
 // release drops the held subchannel with the lowest utility (lowest
-// index among ties, keeping runs deterministic).
-func (c *Controller) release(utility map[int]float64) {
+// index among ties, keeping runs deterministic) and returns it, -1 if
+// nothing was held.
+func (c *Controller) release(utility map[int]float64) int {
 	worst, worstScore := -1, 0.0
 	for _, k := range c.Held() {
 		score := utility[k]
@@ -188,6 +233,7 @@ func (c *Controller) release(utility map[int]float64) {
 	if worst >= 0 {
 		delete(c.buckets, worst)
 	}
+	return worst
 }
 
 // pickReplacement chooses an unheld, not-sensed-busy subchannel with
@@ -224,6 +270,7 @@ func (c *Controller) Release(k int) bool {
 		return false
 	}
 	delete(c.buckets, k)
+	c.traceHop(int64(k), -1, trace.HopCauseRelease)
 	return true
 }
 
@@ -239,4 +286,5 @@ func (c *Controller) Acquire(k int) {
 	}
 	c.buckets[k] = c.drawBucket()
 	c.Hops++
+	c.traceHop(-1, int64(k), trace.HopCauseAcquire)
 }

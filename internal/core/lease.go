@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"cellfi/internal/trace"
 )
 
 // Lease lifecycle state machine. The selector's regulatory contract
@@ -74,6 +76,40 @@ type Transition struct {
 // String renders the transition in the stable form golden logs use.
 func (t Transition) String() string {
 	return fmt.Sprintf("%s->%s reason=%q", t.From, t.To, t.Reason)
+}
+
+// leaseReasons is the closed set of transition reasons the selector
+// emits, in trace-code order. Codes are part of the trace wire
+// contract: append new reasons, never reorder.
+var leaseReasons = []string{
+	"renewal poll",
+	"reacquisition poll",
+	"lease renewed",
+	"channel withdrawn",
+	"channel switched",
+	"channel acquired",
+	"regulatory deny",
+	"vacate budget expired",
+	"renewal failed",
+}
+
+// LeaseReasonCode maps a transition reason to its stable trace code,
+// -1 for reasons outside the known set.
+func LeaseReasonCode(reason string) int64 {
+	for i, r := range leaseReasons {
+		if r == reason {
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+// LeaseReasonString inverts LeaseReasonCode for trace rendering.
+func LeaseReasonString(code int64) string {
+	if code < 0 || code >= int64(len(leaseReasons)) {
+		return fmt.Sprintf("reason(%d)", code)
+	}
+	return leaseReasons[code]
 }
 
 // SelectorStats is a counter snapshot of a ChannelSelector, in the
@@ -156,6 +192,14 @@ func (s *ChannelSelector) transition(to LeaseState, at time.Time, reason string)
 		s.stats.GraceEntries++
 	case StateVacated:
 		s.stats.Vacated++
+	}
+	if s.Trace != nil {
+		ch := int64(-1)
+		if s.current != nil {
+			ch = int64(s.current.Channel)
+		}
+		s.Trace.Record(trace.Record{T: at.UnixNano(), AP: s.TraceAP, Kind: trace.KindLease,
+			N: 4, Args: [trace.MaxArgs]int64{int64(tr.From), int64(to), LeaseReasonCode(reason), ch}})
 	}
 	if s.OnTransition != nil {
 		s.OnTransition(tr)

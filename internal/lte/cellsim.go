@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cellfi/internal/sim"
+	"cellfi/internal/trace"
 )
 
 // CellSim is a subframe-granularity simulation of one LTE cell: every
@@ -120,6 +121,7 @@ func (cs *CellSim) FirstTxBLER() float64 {
 func (cs *CellSim) report() {
 	tMS := int64(cs.eng.Now() / time.Millisecond)
 	s := cs.Cell.BW.Subchannels()
+	rec := cs.eng.Recorder()
 	for _, ue := range cs.ues {
 		sinrs := make([]float64, s)
 		for k := 0; k < s; k++ {
@@ -127,6 +129,10 @@ func (cs *CellSim) report() {
 		}
 		rep := ue.reporter.Report(sinrs)
 		copy(ue.sched.SubbandCQI, rep.Subband)
+		if rec != nil {
+			rec.Record(trace.Record{T: int64(cs.eng.Now()), AP: int32(cs.Cell.ID), Kind: trace.KindLTECQI,
+				N: 2, Args: [trace.MaxArgs]int64{int64(ue.client.ID), int64(rep.Wideband)}})
+		}
 	}
 }
 
@@ -196,6 +202,7 @@ func (cs *CellSim) tick() {
 		}
 		return 0
 	})
+	rec := cs.eng.Recorder()
 	for _, g := range dcis {
 		raw, err := g.Marshal(cs.Cell.BW)
 		if err != nil {
@@ -208,7 +215,18 @@ func (cs *CellSim) tick() {
 		id := int(decoded.RNTI)
 		ks := decoded.Subchannels(cs.Cell.BW)
 		remaining := served[id]
+		grantBits := remaining
 		ue := cs.byID(id)
+		var grantMask int64
+		for _, k := range ks {
+			if k < 63 {
+				grantMask |= 1 << k
+			}
+		}
+		if rec != nil {
+			rec.Record(trace.Record{T: int64(cs.eng.Now()), AP: int32(cs.Cell.ID), Kind: trace.KindLTEGrant,
+				N: 3, Args: [trace.MaxArgs]int64{int64(id), grantMask, grantBits}})
+		}
 		for _, k := range ks {
 			cqi := ue.sched.SubbandCQI[k]
 			if cqi <= 0 {

@@ -203,6 +203,9 @@ func TestFastDetectorBeatsLineRate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
+	if raceEnabled {
+		t.Skip("timing test: race instrumentation slows the detector severalfold")
+	}
 	det := NewFastDetector(25)
 	rng := rand.New(rand.NewSource(6))
 	rx := AddAWGN(rng, GeneratePreamble(Preamble{Root: 25, Shift: 42}), 0)

@@ -1,0 +1,7 @@
+//go:build race
+
+package lte
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock performance assertions skip themselves when it does.
+const raceEnabled = true

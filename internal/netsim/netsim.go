@@ -26,6 +26,7 @@ import (
 	"cellfi/internal/phy"
 	"cellfi/internal/propagation"
 	"cellfi/internal/topo"
+	"cellfi/internal/trace"
 )
 
 // PackStreakEpochs is how many consecutive clean epochs a lower-index
@@ -103,6 +104,12 @@ type Config struct {
 	// NumProviders splits cells across operators for SchemeHybrid
 	// (cell i belongs to provider i mod NumProviders). Default 2.
 	NumProviders int
+	// Trace, when non-nil, flight-records every cell's interference-
+	// management decisions (im-share per epoch, im-hop per holding
+	// change), timestamped with the epoch clock (epoch × 1 s). Applies
+	// to schemes driven by core.Controller (cellfi, hybrid); the
+	// memoryless random hopper is untraced.
+	Trace trace.Recorder
 }
 
 // DefaultConfig returns the paper's simulation settings for a scheme.
@@ -229,6 +236,9 @@ func New(t *topo.Topology, cfg Config) *Network {
 			if cfg.Lambda > 0 {
 				ctl.Lambda = cfg.Lambda
 			}
+			if cfg.Trace != nil {
+				ctl.Trace, ctl.TraceAP = cfg.Trace, int32(i)
+			}
 			n.controllers[i] = ctl
 			n.allowed[i] = nil // acquired during the first epoch
 		}
@@ -255,6 +265,9 @@ func New(t *topo.Topology, cfg Config) *Network {
 			ctl.PackingEnabled = cfg.PackingEnabled
 			if cfg.Lambda > 0 {
 				ctl.Lambda = cfg.Lambda
+			}
+			if cfg.Trace != nil {
+				ctl.Trace, ctl.TraceAP = cfg.Trace, int32(i)
 			}
 			n.controllers[i] = ctl
 			n.allowed[i] = nil
@@ -386,6 +399,15 @@ func (n *Network) Step() EpochResult {
 	// Interference management runs at the start of the epoch: shares
 	// follow the clients active now, observations come from the
 	// previous epoch's radio state.
+	if n.Cfg.Trace != nil {
+		// Stamp IM records with the epoch clock (1 s per epoch).
+		nowNS := n.epoch * int64(1e9)
+		for _, ctl := range n.controllers {
+			if c, ok := ctl.(*core.Controller); ok {
+				c.TraceNowNS = nowNS
+			}
+		}
+	}
 	switch n.Cfg.Scheme {
 	case SchemeOracle:
 		n.allowed = n.oracleAllocate()

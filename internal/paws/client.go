@@ -14,7 +14,22 @@ import (
 	"time"
 
 	"cellfi/internal/geo"
+	"cellfi/internal/trace"
 )
+
+// methodCode maps a JSON-RPC method name to its trace encoding.
+func methodCode(method string) int64 {
+	switch method {
+	case MethodInit:
+		return trace.PAWSMethodInit
+	case MethodGetSpectrum:
+		return trace.PAWSMethodGetSpectrum
+	case MethodNotifyUse:
+		return trace.PAWSMethodNotify
+	default:
+		return trace.PAWSMethodOther
+	}
+}
 
 // defaultHTTPClient is the transport used when Client.HTTPClient is
 // nil. Unlike http.DefaultClient it carries a timeout, so a stalled
@@ -54,6 +69,13 @@ type Client struct {
 	// CallTimeout is a per-attempt deadline applied via context; zero
 	// falls back to the HTTP client's own timeout.
 	CallTimeout time.Duration
+	// Trace, when non-nil, receives a paws-query record per completed
+	// call (after in-call retries); TraceAP tags the owning access
+	// point. TraceNow supplies record timestamps — inject a simulated
+	// clock to keep trace streams deterministic; nil uses time.Now.
+	Trace    trace.Recorder
+	TraceAP  int32
+	TraceNow func() time.Time
 
 	nextID int64
 
@@ -109,6 +131,7 @@ func (c *Client) call(method string, params, result any) error {
 	for attempt := 1; attempt <= attempts; attempt++ {
 		last = c.callOnce(method, raw, result)
 		if last == nil {
+			c.traceQuery(method, -1, attempt)
 			return nil
 		}
 		last.Attempts = attempt
@@ -117,7 +140,24 @@ func (c *Client) call(method string, params, result any) error {
 		}
 		c.Retry.sleep(c.Retry.backoff(attempt, c.jitterU()))
 	}
+	c.traceQuery(method, int64(last.Class), last.Attempts)
 	return last
+}
+
+// traceQuery emits one paws-query record for a completed call; class
+// is -1 on success, the ErrorClass otherwise.
+func (c *Client) traceQuery(method string, class int64, attempts int) {
+	if c.Trace == nil {
+		return
+	}
+	var t int64
+	if c.TraceNow != nil {
+		t = c.TraceNow().UnixNano()
+	} else {
+		t = time.Now().UnixNano()
+	}
+	c.Trace.Record(trace.Record{T: t, AP: c.TraceAP, Kind: trace.KindPAWSQuery,
+		N: 3, Args: [trace.MaxArgs]int64{methodCode(method), class, int64(attempts)}})
 }
 
 // callOnce performs a single HTTP exchange. It returns nil on success

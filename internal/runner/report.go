@@ -44,6 +44,13 @@ type RunResult struct {
 	// steady-state event memory, not the event count; a run whose
 	// slots stay near its pending depth schedules allocation-free.
 	SimEventSlots int `json:"sim_event_slots,omitempty"`
+	// TracePath is the run's flight-recorder stream on disk, present
+	// only when the campaign captured traces (Options.TraceDir).
+	TracePath string `json:"trace_path,omitempty"`
+	// TraceRecords / TraceDropped count records captured and records
+	// lost (spill-write failures) for the run's trace.
+	TraceRecords int64 `json:"trace_records,omitempty"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
 	// Value is the scenario's return value (not serialized).
 	Value any `json:"-"`
 }

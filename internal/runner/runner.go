@@ -28,12 +28,15 @@ package runner
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"cellfi/internal/sim"
+	"cellfi/internal/trace"
 )
 
 // Spec describes one scenario run: a label for telemetry, the seed all
@@ -59,10 +62,15 @@ type Ctx struct {
 	ctx   context.Context
 	spec  *Spec
 	index int
+	opts  *Options
 
 	mu      sync.Mutex
 	engines []*sim.Engine
 	steps   int64
+
+	traceRing *trace.Ring
+	tracePath string
+	traceErr  error
 }
 
 // Context returns the campaign's cancellation context.
@@ -79,11 +87,100 @@ func (c *Ctx) Index() int { return c.index }
 
 // Engine creates a discrete-event engine seeded with seed and tracks
 // it: its event counters are pulled into the run's telemetry after the
-// scenario finishes.
+// scenario finishes. With trace capture on (Options.TraceDir) the
+// engine's flight recorder is attached automatically.
 func (c *Ctx) Engine(seed int64) *sim.Engine {
 	e := sim.NewEngine(seed)
-	c.Track(e)
+	c.mu.Lock()
+	c.engines = append(c.engines, e)
+	if r := c.ringLocked(); r != nil {
+		e.SetRecorder(r)
+	}
+	c.mu.Unlock()
 	return e
+}
+
+// Recorder returns the run's flight recorder, or nil when the campaign
+// does not capture traces (Options.TraceDir empty, or the trace file
+// could not be opened — the failure is reported in the run's result).
+// The recorder spills to <TraceDir>/run<index>-<label>.trace; the file
+// is flushed and closed after the scenario finishes, and its path lands
+// in RunResult.TracePath.
+//
+// The returned recorder is not synchronized: scenarios that spawn
+// goroutines must record from a single one.
+func (c *Ctx) Recorder() trace.Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r := c.ringLocked(); r != nil {
+		return r
+	}
+	return nil
+}
+
+// ringLocked lazily opens the spill file and ring. Callers hold c.mu.
+// A nil return means capture is off or the open failed (traceErr set).
+func (c *Ctx) ringLocked() *trace.Ring {
+	if c.opts == nil || c.opts.TraceDir == "" {
+		return nil
+	}
+	if c.traceRing == nil && c.traceErr == nil {
+		path := filepath.Join(c.opts.TraceDir,
+			fmt.Sprintf("run%04d-%s.trace", c.index, sanitizeLabel(c.spec.Label)))
+		f, err := os.Create(path)
+		if err != nil {
+			c.traceErr = fmt.Errorf("runner: open trace file: %w", err)
+			return nil
+		}
+		r := trace.NewRing(c.opts.TraceRing)
+		r.SpillTo(f)
+		c.traceRing = r
+		c.tracePath = path
+	}
+	return c.traceRing
+}
+
+// sanitizeLabel maps a run label onto the filename-safe alphabet
+// [a-zA-Z0-9._-], bounded to 64 bytes, so labels like
+// "fig9a/aps=14/trial=2" become stable file names.
+func sanitizeLabel(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z',
+			b >= '0' && b <= '9', b == '.', b == '-', b == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	return string(out)
+}
+
+// closeTrace finalizes the run's trace capture: flush + close the spill
+// file and publish path/counters into the result. A capture failure on
+// an otherwise-successful run marks it failed — a campaign recorded for
+// replay-diff must not silently produce torn streams.
+func (c *Ctx) closeTrace(res *RunResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.traceErr != nil && res.Status == StatusOK {
+		res.Status = StatusFailed
+		res.Err = c.traceErr.Error()
+	}
+	if c.traceRing == nil {
+		return
+	}
+	st := c.traceRing.Stats()
+	res.TracePath = c.tracePath
+	res.TraceRecords = int64(st.Recorded)
+	res.TraceDropped = int64(st.Dropped)
+	if err := c.traceRing.Close(); err != nil && res.Status == StatusOK {
+		res.Status = StatusFailed
+		res.Err = err.Error()
+	}
 }
 
 // Track registers an externally constructed engine for telemetry.
@@ -138,6 +235,14 @@ type Options struct {
 	// OnProgress, if set, is called after each run completes. Calls are
 	// serialized; the callback must not block for long.
 	OnProgress func(Progress)
+	// TraceDir, when non-empty, turns on per-run flight recording:
+	// every engine a run creates via Ctx.Engine (and whatever else the
+	// scenario wires to Ctx.Recorder) spills a binary trace stream to
+	// <TraceDir>/run<index>-<label>.trace. The directory must exist.
+	TraceDir string
+	// TraceRing caps the per-run in-memory record buffer before a
+	// spill; <= 0 uses trace.DefaultRingSize.
+	TraceRing int
 }
 
 // Run executes the campaign and returns its report. It blocks until
@@ -222,7 +327,7 @@ func Run(ctx context.Context, name string, specs []Spec, opts Options) *Report {
 					res.Status = StatusCanceled
 					res.Err = ctx.Err().Error()
 				} else {
-					runOne(ctx, &specs[i], i, res)
+					runOne(ctx, &specs[i], i, res, &opts)
 				}
 				finish(i)
 			}
@@ -236,8 +341,8 @@ func Run(ctx context.Context, name string, specs []Spec, opts Options) *Report {
 }
 
 // runOne executes a single spec with panic isolation and telemetry.
-func runOne(ctx context.Context, s *Spec, i int, res *RunResult) {
-	c := &Ctx{ctx: ctx, spec: s, index: i}
+func runOne(ctx context.Context, s *Spec, i int, res *RunResult, opts *Options) {
+	c := &Ctx{ctx: ctx, spec: s, index: i, opts: opts}
 	t0 := time.Now()
 	func() {
 		defer func() {
@@ -257,4 +362,5 @@ func runOne(ctx context.Context, s *Spec, i int, res *RunResult) {
 	}()
 	res.WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	c.collect(res)
+	c.closeTrace(res)
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"cellfi/internal/trace"
 )
 
 // scenarioSpecs builds a campaign of n deterministic scenarios: each
@@ -337,5 +339,133 @@ func TestSharedStateWouldBeCaught(t *testing.T) {
 	r8 := Run(context.Background(), "iso", specs, Options{Workers: 8})
 	if !bytes.Equal(aggregate(t, r1), aggregate(t, r8)) {
 		t.Fatal("seed-derived randomness must be scheduling independent")
+	}
+}
+
+// traceSpecs builds a campaign whose scenarios drive a traced engine;
+// with identical seeds the captured streams must be byte-identical.
+func traceSpecs(seedOf func(i int) int64, n int) []Spec {
+	specs := make([]Spec, n)
+	for i := 0; i < n; i++ {
+		i := i
+		specs[i] = Spec{
+			Label: fmt.Sprintf("shard/%d", i),
+			Seed:  seedOf(i),
+			Run: func(c *Ctx) (any, error) {
+				eng := c.Engine(c.Seed())
+				rng := rand.New(rand.NewSource(c.Seed()))
+				var tick func()
+				n := 0
+				tick = func() {
+					n++
+					if n < 200 {
+						eng.After(time.Duration(1+rng.Intn(50))*time.Millisecond, tick)
+					}
+				}
+				eng.After(time.Millisecond, tick)
+				eng.RunAll()
+				return n, nil
+			},
+		}
+	}
+	return specs
+}
+
+// TestTraceCapture: TraceDir produces one decodable stream per run,
+// publishes its path and counters in the telemetry, and same-seed runs
+// capture byte-identical streams while different seeds diverge.
+func TestTraceCapture(t *testing.T) {
+	dir := t.TempDir()
+	rep := Run(context.Background(), "traced",
+		traceSpecs(func(i int) int64 { return 42 }, 2), // identical seeds
+		Options{Workers: 2, TraceDir: dir, TraceRing: 64})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var raws [][]byte
+	for _, r := range rep.Runs {
+		if r.TracePath == "" {
+			t.Fatalf("run %d: no trace path in telemetry", r.Index)
+		}
+		if r.TraceRecords == 0 || r.TraceDropped != 0 {
+			t.Fatalf("run %d: records=%d dropped=%d", r.Index, r.TraceRecords, r.TraceDropped)
+		}
+		recs, err := trace.ReadFile(r.TracePath)
+		if err != nil {
+			t.Fatalf("run %d: decode %s: %v", r.Index, r.TracePath, err)
+		}
+		if int64(len(recs)) != r.TraceRecords {
+			t.Fatalf("run %d: decoded %d records, telemetry says %d",
+				r.Index, len(recs), r.TraceRecords)
+		}
+		raw, err := os.ReadFile(r.TracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, raw)
+	}
+	if !bytes.Equal(raws[0], raws[1]) {
+		t.Fatal("same-seed shards must capture byte-identical traces")
+	}
+	d := trace.Diff(raws[0], raws[1])
+	if !d.Identical {
+		t.Fatalf("Diff on same-seed shards: %s", d.String())
+	}
+
+	// Different seeds must diverge, and Diff must localize it.
+	rep2 := Run(context.Background(), "traced2",
+		traceSpecs(func(i int) int64 { return int64(100 + i) }, 2),
+		Options{Workers: 1, TraceDir: dir})
+	if err := rep2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rawA, _ := os.ReadFile(rep2.Runs[0].TracePath)
+	rawB, _ := os.ReadFile(rep2.Runs[1].TracePath)
+	d = trace.Diff(rawA, rawB)
+	if d.Identical {
+		t.Fatal("different-seed shards produced identical traces")
+	}
+	if d.A == nil && d.B == nil && d.CountA == d.CountB {
+		t.Fatalf("divergence not localized: %+v", d)
+	}
+}
+
+// TestTraceDirOff: without TraceDir, Recorder returns untyped nil and
+// results carry no trace fields.
+func TestTraceDirOff(t *testing.T) {
+	specs := []Spec{{Label: "plain", Seed: 1, Run: func(c *Ctx) (any, error) {
+		if r := c.Recorder(); r != nil {
+			return nil, fmt.Errorf("Recorder() = %v, want nil", r)
+		}
+		return nil, nil
+	}}}
+	rep := Run(context.Background(), "off", specs, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs[0].TracePath != "" || rep.Runs[0].TraceRecords != 0 {
+		t.Fatalf("trace telemetry present with capture off: %+v", rep.Runs[0])
+	}
+}
+
+// TestTraceOpenFailure: an unopenable trace file fails the run rather
+// than silently dropping the capture.
+func TestTraceOpenFailure(t *testing.T) {
+	specs := []Spec{{Label: "open-fail", Seed: 1, Run: func(c *Ctx) (any, error) {
+		c.Recorder() // trigger the open
+		return nil, nil
+	}}}
+	rep := Run(context.Background(), "openfail", specs,
+		Options{TraceDir: filepath.Join(t.TempDir(), "does", "not", "exist")})
+	if rep.Runs[0].Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", rep.Runs[0].Status)
+	}
+}
+
+// TestSanitizeLabel pins the filename mapping.
+func TestSanitizeLabel(t *testing.T) {
+	got := sanitizeLabel("fig9a/aps=14 trial:2")
+	if got != "fig9a_aps_14_trial_2" {
+		t.Fatalf("sanitizeLabel = %q", got)
 	}
 }

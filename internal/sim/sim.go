@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"cellfi/internal/trace"
 )
 
 // Time is a virtual timestamp measured from the start of the simulation.
@@ -107,7 +109,21 @@ type Engine struct {
 	stopped    bool
 	// streams hands out decorrelated child RNGs; see RNG.
 	streamSeed int64
+	// rec, when non-nil, receives a trace record per dispatched event.
+	// Nil by default so the dispatch loop pays only a predictable
+	// branch when tracing is off.
+	rec trace.Recorder
 }
+
+// SetRecorder attaches a flight recorder: every dispatched event emits
+// a KindSimFire record stamped with its virtual fire time. Pass nil to
+// detach. Layers built on the engine (wifi, lte) emit their own
+// records through the same recorder via Recorder().
+func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached flight recorder, nil when tracing is
+// off. Instrumented callers must nil-check before recording.
+func (e *Engine) Recorder() trace.Recorder { return e.rec }
 
 // Stats is a snapshot of an engine's activity counters, used by run
 // telemetry (internal/runner) and throughput benchmarks.
@@ -290,6 +306,9 @@ func (e *Engine) Run(until Time) int {
 		e.heapPop()
 		e.freeSlot(s)
 		e.fired++
+		if e.rec != nil {
+			e.rec.Record(trace.Record{T: int64(e.now), AP: -1, Kind: trace.KindSimFire})
+		}
 		fn()
 		n++
 	}
@@ -313,6 +332,9 @@ func (e *Engine) RunAll() int {
 		e.heapPop()
 		e.freeSlot(s)
 		e.fired++
+		if e.rec != nil {
+			e.rec.Record(trace.Record{T: int64(e.now), AP: -1, Kind: trace.KindSimFire})
+		}
 		fn()
 		n++
 	}

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"cellfi/internal/trace"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -467,5 +469,50 @@ func BenchmarkTickerSecond(b *testing.B) {
 		if n != 1000 {
 			b.Fatalf("ticks = %d", n)
 		}
+	}
+}
+
+// ringRecorder is a minimal trace.Recorder for engine tests.
+type ringRecorder struct{ recs []trace.Record }
+
+func (r *ringRecorder) Record(rec trace.Record) { r.recs = append(r.recs, rec) }
+
+func TestEngineRecorder(t *testing.T) {
+	e := NewEngine(1)
+	rec := &ringRecorder{}
+	e.SetRecorder(rec)
+	if e.Recorder() == nil {
+		t.Fatal("Recorder() = nil after SetRecorder")
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	e.Run(time.Second)
+	st := e.Stats()
+	if uint64(len(rec.recs)) != st.Fired {
+		t.Fatalf("recorded %d sim-fire records, engine fired %d", len(rec.recs), st.Fired)
+	}
+	for i, r := range rec.recs {
+		if r.Kind != trace.KindSimFire {
+			t.Fatalf("record %d kind = %v, want sim-fire", i, r.Kind)
+		}
+		if r.AP != -1 {
+			t.Fatalf("record %d AP = %d, want -1", i, r.AP)
+		}
+		want := int64((i + 1) * int(time.Millisecond))
+		if r.T != want {
+			t.Fatalf("record %d T = %d, want %d", i, r.T, want)
+		}
+	}
+}
+
+func TestEngineNilRecorderSafe(t *testing.T) {
+	e := NewEngine(1)
+	e.SetRecorder(nil)
+	fired := 0
+	e.Schedule(time.Millisecond, func() { fired++ })
+	e.Run(time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
 	}
 }

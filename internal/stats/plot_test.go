@@ -139,3 +139,77 @@ func TestHeatmapDegenerate(t *testing.T) {
 		t.Fatal("flat heatmap broke")
 	}
 }
+
+// TestHeatmapMarksOverlay: marks take precedence over every cell kind —
+// values, NaN holes — and land at exact (row, col) positions; marks
+// addressing cells outside the grid are ignored.
+func TestHeatmapMarksOverlay(t *testing.T) {
+	grid := [][]float64{
+		{0, math.NaN(), 10},
+		{10, 0, math.NaN()},
+	}
+	marks := map[[2]int]byte{
+		{0, 1}: 'N', // over a NaN hole
+		{1, 0}: 'M', // over the maximum
+		{9, 9}: 'Z', // outside the grid: ignored
+	}
+	out := Heatmap(grid, marks)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("heatmap lines = %d, want 2 rows + scale", len(lines))
+	}
+	if lines[0][1] != 'N' {
+		t.Fatalf("mark over NaN not placed: %q", lines[0])
+	}
+	if lines[1][0] != 'M' {
+		t.Fatalf("mark over value not placed: %q", lines[1])
+	}
+	if lines[1][2] != ' ' {
+		t.Fatalf("unmarked NaN cell should render as space: %q", lines[1])
+	}
+	if lines[0][2] != '@' || lines[0][0] != ' ' {
+		t.Fatalf("ramp extremes wrong around marks: %q", lines[0])
+	}
+	if strings.ContainsRune(out, 'Z') {
+		t.Fatal("out-of-grid mark leaked into the rendering")
+	}
+}
+
+// TestHeatmapOccupancyTimeline pins the rendering cellfi-trace timeline
+// relies on: a 0/1 occupancy grid renders held cells with the darkest
+// glyph, free cells as spaces, and hop marks on top.
+func TestHeatmapOccupancyTimeline(t *testing.T) {
+	grid := [][]float64{
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	}
+	marks := map[[2]int]byte{{0, 2}: 'x', {1, 2}: '+'}
+	out := Heatmap(grid, marks)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "@@x " {
+		t.Fatalf("row 0 = %q, want \"@@x \"", lines[0])
+	}
+	if lines[1] != "  +@" {
+		t.Fatalf("row 1 = %q, want \"  +@\"", lines[1])
+	}
+	if !strings.Contains(lines[2], "' ' = 0") || !strings.Contains(lines[2], "'@' = 1") {
+		t.Fatalf("scale line = %q", lines[2])
+	}
+}
+
+// TestHeatmapRaggedRows: rows of different lengths render at their own
+// width without panicking or bleeding marks across rows.
+func TestHeatmapRaggedRows(t *testing.T) {
+	grid := [][]float64{
+		{0, 1, 2, 3},
+		{3},
+	}
+	out := Heatmap(grid, map[[2]int]byte{{1, 0}: 'R'})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) != 4 || len(lines[1]) != 1 {
+		t.Fatalf("row widths = %d,%d, want 4,1", len(lines[0]), len(lines[1]))
+	}
+	if lines[1] != "R" {
+		t.Fatalf("ragged-row mark lost: %q", lines[1])
+	}
+}

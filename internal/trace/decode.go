@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Decode errors. Every malformed input — truncated, corrupted,
+// version-skewed — yields one of these (wrapped with position
+// context); the decoder never panics, which FuzzDecode enforces.
+var (
+	// ErrHeader: the stream does not start with the trace magic.
+	ErrHeader = errors.New("trace: bad header magic")
+	// ErrVersion: the stream's format version is not this decoder's.
+	ErrVersion = errors.New("trace: unsupported stream version")
+	// ErrTruncated: the stream ends mid-record.
+	ErrTruncated = errors.New("trace: truncated stream")
+	// ErrCorrupt: a structurally invalid record (zero kind, oversized
+	// arg count, overlong varint).
+	ErrCorrupt = errors.New("trace: corrupt record")
+)
+
+// Decoder walks an encoded stream record by record.
+type Decoder struct {
+	data  []byte
+	pos   int
+	prevT int64
+	count int
+}
+
+// NewDecoder validates the header and returns a decoder positioned at
+// the first record.
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < headerLen {
+		if len(data) > 0 && !magicPrefix(data) {
+			return nil, ErrHeader
+		}
+		return nil, fmt.Errorf("%w: %d-byte stream is shorter than the header", ErrTruncated, len(data))
+	}
+	if !magicPrefix(data) {
+		return nil, ErrHeader
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("%w: stream version %d, decoder speaks %d", ErrVersion, v, Version)
+	}
+	return &Decoder{data: data, pos: headerLen}, nil
+}
+
+func magicPrefix(data []byte) bool {
+	n := len(data)
+	if n > 4 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		if data[i] != magic[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns how many records have been decoded so far.
+func (d *Decoder) Count() int { return d.count }
+
+// varint reads one zigzag varint, classifying failures.
+func (d *Decoder) varint() (int64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	switch {
+	case n > 0:
+		d.pos += n
+		return unzigzag(u), nil
+	case n == 0:
+		return 0, fmt.Errorf("%w: varint cut short at byte %d", ErrTruncated, d.pos)
+	default:
+		return 0, fmt.Errorf("%w: overlong varint at byte %d", ErrCorrupt, d.pos)
+	}
+}
+
+// Next decodes one record. It returns io.EOF at a clean end of stream
+// and a wrapped ErrTruncated/ErrCorrupt on malformed input.
+func (d *Decoder) Next() (Record, error) {
+	var r Record
+	if d.pos >= len(d.data) {
+		return r, io.EOF
+	}
+	delta, err := d.varint()
+	if err != nil {
+		return r, err
+	}
+	d.prevT += delta
+	r.T = d.prevT
+	if d.pos >= len(d.data) {
+		return r, fmt.Errorf("%w: record %d ends before its kind byte", ErrTruncated, d.count)
+	}
+	r.Kind = Kind(d.data[d.pos])
+	d.pos++
+	if r.Kind == 0 {
+		return r, fmt.Errorf("%w: record %d has reserved kind 0", ErrCorrupt, d.count)
+	}
+	ap, err := d.varint()
+	if err != nil {
+		return r, err
+	}
+	if ap < -(1<<31) || ap >= 1<<31 {
+		return r, fmt.Errorf("%w: record %d AP %d out of int32 range", ErrCorrupt, d.count, ap)
+	}
+	r.AP = int32(ap)
+	if d.pos >= len(d.data) {
+		return r, fmt.Errorf("%w: record %d ends before its arg count", ErrTruncated, d.count)
+	}
+	n := d.data[d.pos]
+	d.pos++
+	if n > MaxArgs {
+		return r, fmt.Errorf("%w: record %d claims %d args (max %d)", ErrCorrupt, d.count, n, MaxArgs)
+	}
+	r.N = n
+	for i := 0; i < int(n); i++ {
+		r.Args[i], err = d.varint()
+		if err != nil {
+			return r, err
+		}
+	}
+	d.count++
+	return r, nil
+}
+
+// Decode parses a whole stream into memory.
+func Decode(data []byte) ([]Record, error) {
+	d, err := NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		r, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// ReadFile decodes a trace file from disk.
+func ReadFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := Decode(data)
+	if err != nil {
+		return recs, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

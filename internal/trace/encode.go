@@ -1,0 +1,81 @@
+package trace
+
+import "encoding/binary"
+
+// Wire format (version 1):
+//
+//	header:  'C' 'F' 'T' 'R'  version-byte
+//	record:  svarint(T - prevT)   delta from the previous record's T
+//	         byte(kind)           nonzero
+//	         svarint(AP)
+//	         byte(N)              0..MaxArgs
+//	         N × svarint(arg)
+//
+// svarint is zigzag-mapped unsigned varint (encoding/binary's uvarint
+// layout). Delta-coding the timestamps keeps densely ordered streams
+// (the common case: nondecreasing virtual time) to one or two bytes
+// per record for the clock; zigzag keeps out-of-order clocks (mixed
+// layers) legal rather than corrupting the stream.
+
+// headerLen is the encoded header size: magic plus version byte.
+const headerLen = 5
+
+var magic = [4]byte{'C', 'F', 'T', 'R'}
+
+// zigzag maps a signed value to an unsigned one with small absolute
+// values staying small.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encoder serializes records into an internal, reusable buffer. The
+// zero value is ready to use. An Encoder carries the timestamp-delta
+// state of one stream: keep one per stream, and only reset the buffer
+// (not the encoder) between spills.
+type Encoder struct {
+	buf   []byte
+	prevT int64
+}
+
+// AppendHeader appends the stream header. Call it once, before the
+// first record of a stream.
+func (e *Encoder) AppendHeader() {
+	e.buf = append(e.buf, magic[0], magic[1], magic[2], magic[3], Version)
+}
+
+// Append serializes one record onto the buffer.
+func (e *Encoder) Append(r Record) {
+	e.buf = binary.AppendUvarint(e.buf, zigzag(r.T-e.prevT))
+	e.prevT = r.T
+	e.buf = append(e.buf, byte(r.Kind))
+	e.buf = binary.AppendUvarint(e.buf, zigzag(int64(r.AP)))
+	n := int(r.N)
+	if n > MaxArgs {
+		n = MaxArgs
+	}
+	e.buf = append(e.buf, byte(n))
+	for i := 0; i < n; i++ {
+		e.buf = binary.AppendUvarint(e.buf, zigzag(r.Args[i]))
+	}
+}
+
+// Bytes returns the encoded buffer. The slice is invalidated by the
+// next Append or ResetBuf.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// ResetBuf empties the buffer while keeping its capacity and the
+// stream's delta state, so a spilling ring reuses one allocation for
+// the life of the stream.
+func (e *Encoder) ResetBuf() { e.buf = e.buf[:0] }
+
+// Marshal encodes a whole stream (header plus records) in one buffer —
+// the convenience path for tests and snapshot dumps.
+func Marshal(recs []Record) []byte {
+	var e Encoder
+	e.AppendHeader()
+	for _, r := range recs {
+		e.Append(r)
+	}
+	return e.Bytes()
+}

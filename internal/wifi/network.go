@@ -9,7 +9,22 @@ import (
 	"cellfi/internal/phy"
 	"cellfi/internal/propagation"
 	"cellfi/internal/sim"
+	"cellfi/internal/trace"
 )
+
+// frameCode maps an on-air frame kind to its trace encoding.
+func frameCode(kind string) int64 {
+	switch kind {
+	case "rts":
+		return trace.WifiFrameRTS
+	case "cts":
+		return trace.WifiFrameCTS
+	case "data":
+		return trace.WifiFrameData
+	default:
+		return trace.WifiFrameAck
+	}
+}
 
 // Network is one Wi-Fi collision domain: a set of APs and their
 // clients sharing a channel under CSMA/CA. All nodes hear each other
@@ -238,6 +253,10 @@ func (n *Network) beginTX(from *Node, d time.Duration, kind string) *transmissio
 		t.interferers[a.from] = true
 		a.interferers[from] = true
 	}
+	if rec := n.eng.Recorder(); rec != nil {
+		rec.Record(trace.Record{T: int64(n.eng.Now()), AP: int32(from.ID), Kind: trace.KindWifiTX,
+			N: 2, Args: [trace.MaxArgs]int64{frameCode(kind), int64(d)}})
+	}
 	n.active = append(n.active, t)
 	n.notifyMediumChange()
 	n.eng.After(d, func() {
@@ -298,6 +317,10 @@ func (ap *Node) tryStart() {
 	}
 	ap.contending = true
 	ap.backoff = ap.net.rng.Intn(ap.cw + 1)
+	if rec := ap.net.eng.Recorder(); rec != nil {
+		rec.Record(trace.Record{T: int64(ap.net.eng.Now()), AP: int32(ap.ID), Kind: trace.KindWifiBackoff,
+			N: 2, Args: [trace.MaxArgs]int64{int64(ap.backoff), int64(ap.cw)}})
+	}
 	ap.reschedule()
 }
 
@@ -452,6 +475,14 @@ func (ap *Node) success(client *Node, bits int64) {
 func (ap *Node) failure() {
 	ap.net.stats.Failures++
 	ap.retries++
+	dropped := int64(0)
+	if ap.retries > ap.net.Params.RetryLimit {
+		dropped = 1
+	}
+	if rec := ap.net.eng.Recorder(); rec != nil {
+		rec.Record(trace.Record{T: int64(ap.net.eng.Now()), AP: int32(ap.ID), Kind: trace.KindWifiFail,
+			N: 3, Args: [trace.MaxArgs]int64{int64(ap.retries), int64(ap.cw), dropped}})
+	}
 	if ap.retries > ap.net.Params.RetryLimit {
 		// Abandon this aggregate; for backlogged queues the traffic
 		// source keeps the queue full, so this surfaces as lost

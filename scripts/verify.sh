@@ -8,14 +8,29 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l . 2>/dev/null | grep -v '^\.git/' || true)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting (run make fmt):" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (runner, sim, core, paws, faults)"
-go test -race ./internal/runner ./internal/sim ./internal/core ./internal/paws ./internal/faults
+echo "== go test -race (runner, sim, core, paws, faults, trace)"
+go test -race ./internal/runner ./internal/sim ./internal/core ./internal/paws ./internal/faults ./internal/trace
+
+# Optional full-race stage: VERIFY_RACE=1 runs the entire test suite
+# under the race detector (equivalent to `make race`).
+if [ "${VERIFY_RACE:-0}" = "1" ]; then
+	echo "== go test -race ./... (full suite)"
+	go test -race ./...
+fi
 
 # Optional chaos stage: VERIFY_CHAOS=1 adds the full fault-injection
 # soak (the ETSI vacate property suite, 5x under -race) on top.
