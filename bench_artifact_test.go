@@ -24,6 +24,12 @@ import (
 // *Event per Schedule, container/heap boxing, O(n) Pending.
 const baselineEventsPerSec = 12661001.198343981
 
+// prevLTESubframeNsPerOp is lte_subframe ns_per_op from the committed
+// BENCH_sim.json before the allocation-free domain rewrite (map-based
+// Allocation, per-subframe float SINR->CQI->TBS chain, per-report CQI
+// slices). The rewrite must hold a >= 3x speedup over it.
+const prevLTESubframeNsPerOp = 20851.584071243393
+
 // benchResult captures one benchmark's numbers for the artifact.
 type benchResult struct {
 	NsPerOp      float64 `json:"ns_per_op"`
@@ -74,11 +80,19 @@ type simBenchArtifact struct {
 	// Protocol hot loops above the engine. One op simulates 1 ms of a
 	// two-BSS 802.11af contention domain (CSMA) or one TDD subframe of
 	// a 4-UE cell with an interferer (LTE), both on cached link gains.
+	// All three domain loops must measure 0 allocs/op: the scratch-
+	// reuse contract (lte.AllocScratch, pooled wifi transmissions,
+	// per-link rx-power memo) is enforced here, not just in-package.
 	CSMASlotLoopMS  benchResult `json:"csma_slot_loop_ms"`
 	LTESubframe     benchResult `json:"lte_subframe"`
 	LTESchedulerOp  benchResult `json:"lte_scheduler_allocate"`
 	LinkLossCached  benchResult `json:"link_loss_cached"`
 	LinkLossModeled benchResult `json:"link_loss_modeled"`
+
+	// PrevLTESubframeNsPerOp pins the pre-rewrite lte_subframe cost so
+	// the speedup ratio stays legible after the old code is gone.
+	PrevLTESubframeNsPerOp   float64 `json:"prev_lte_subframe_ns_per_op"`
+	LTESubframeSpeedupVsPrev float64 `json:"lte_subframe_speedup_vs_prev"`
 }
 
 // The closures below mirror the in-package benchmarks
@@ -218,13 +232,14 @@ func benchLTEScheduler(b *testing.B) {
 		ues[i] = &lte.SchedUE{ID: i, SubbandCQI: cqi}
 	}
 	pf := &lte.ProportionalFair{}
+	var scratch lte.AllocScratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, u := range ues {
 			u.BacklogBits = 1 << 30
 		}
-		pf.Allocate(bw, allowed, ues)
+		pf.Allocate(&scratch, bw, allowed, ues)
 	}
 }
 
@@ -268,8 +283,15 @@ func TestEngineBenchArtifact(t *testing.T) {
 			"csma_slot_loop_ms simulates 1 ms of a two-BSS 802.11af contention domain " +
 			"per op; lte_subframe simulates one TDD subframe of a 4-UE cell with an " +
 			"interferer per op, both on cached link gains (link_loss_cached vs " +
-			"link_loss_modeled shows the cache win). Engine paths must run at 0 " +
-			"amortized allocs/op.",
+			"link_loss_modeled shows the cache win). Engine paths and all three " +
+			"domain hot loops (csma_slot_loop_ms, lte_subframe, " +
+			"lte_scheduler_allocate) must run at 0 amortized allocs/op: schedulers " +
+			"write into a caller-owned lte.AllocScratch (dense sc->UE and served " +
+			"slices, Reset per subframe, deterministic index order), the " +
+			"SINR->CQI->MCS->TBS chain reads init-time lookup tables, rx powers are " +
+			"memoized per (link, subchannel) fading block, and wifi frame records " +
+			"are pooled with pre-bound exchange handlers. lte_subframe must hold " +
+			">= 3x over prev_lte_subframe_ns_per_op (the committed pre-rewrite cost).",
 		BaselineEventsPerSec: baselineEventsPerSec,
 		BaselineSource: "BENCH_runner.json engine_events_per_sec (pre-rewrite engine: " +
 			"heap-allocated *Event per Schedule, container/heap, O(n) Pending)",
@@ -285,6 +307,10 @@ func TestEngineBenchArtifact(t *testing.T) {
 	}
 	art.EngineEventsPerSec = art.ScheduleFire.EventsPerSec
 	art.SpeedupVsBaseline = art.EngineEventsPerSec / baselineEventsPerSec
+	art.PrevLTESubframeNsPerOp = prevLTESubframeNsPerOp
+	if art.LTESubframe.NsPerOp > 0 {
+		art.LTESubframeSpeedupVsPrev = prevLTESubframeNsPerOp / art.LTESubframe.NsPerOp
+	}
 
 	if art.ScheduleFire.AllocsPerOp != 0 {
 		t.Errorf("Schedule+fire allocates %d allocs/op, want 0", art.ScheduleFire.AllocsPerOp)
@@ -295,6 +321,19 @@ func TestEngineBenchArtifact(t *testing.T) {
 	if art.SpeedupVsBaseline < 2 {
 		t.Errorf("engine dispatch %.0f events/sec is %.2fx baseline %.0f, want >= 2x",
 			art.EngineEventsPerSec, art.SpeedupVsBaseline, baselineEventsPerSec)
+	}
+	if art.CSMASlotLoopMS.AllocsPerOp != 0 {
+		t.Errorf("CSMA slot loop allocates %d allocs/op, want 0", art.CSMASlotLoopMS.AllocsPerOp)
+	}
+	if art.LTESubframe.AllocsPerOp != 0 {
+		t.Errorf("LTE subframe loop allocates %d allocs/op, want 0", art.LTESubframe.AllocsPerOp)
+	}
+	if art.LTESchedulerOp.AllocsPerOp != 0 {
+		t.Errorf("LTE scheduler allocates %d allocs/op, want 0", art.LTESchedulerOp.AllocsPerOp)
+	}
+	if art.LTESubframeSpeedupVsPrev < 3 {
+		t.Errorf("lte_subframe %.0f ns/op is %.2fx the pre-rewrite %.0f ns/op, want >= 3x",
+			art.LTESubframe.NsPerOp, art.LTESubframeSpeedupVsPrev, prevLTESubframeNsPerOp)
 	}
 
 	data, err := json.MarshalIndent(art, "", "  ")

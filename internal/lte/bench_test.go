@@ -12,8 +12,8 @@ import (
 // ranges and an always-on interfering cell, so the subframe loop
 // exercises scheduling, DCI encode/decode, HARQ and interference-laden
 // SINR lookups every downlink subframe.
-func benchCellSim(b *testing.B) (*sim.Engine, *CellSim) {
-	b.Helper()
+func benchCellSim(tb testing.TB) (*sim.Engine, *CellSim) {
+	tb.Helper()
 	eng := sim.NewEngine(1)
 	env := NewEnvironment(1)
 	cell := &Cell{
@@ -72,13 +72,61 @@ func BenchmarkLTESchedulerAllocate(b *testing.B) {
 		ues[i] = &SchedUE{ID: i, SubbandCQI: cqi}
 	}
 	pf := &ProportionalFair{}
+	var scratch AllocScratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, u := range ues {
 			u.BacklogBits = 1 << 30
 		}
-		pf.Allocate(bw, allowed, ues)
+		pf.Allocate(&scratch, bw, allowed, ues)
+	}
+}
+
+// BenchmarkTBSTable / BenchmarkTBSMath compare the init-time
+// CQI -> MCS -> TBS lookup tables against the float chain they
+// replaced; `make bench` prints both so the win stays visible.
+func BenchmarkTBSTable(b *testing.B) {
+	var sink int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += TransportBlockBits(1+i%15, 1+i%25)
+	}
+	benchSink = sink
+}
+
+func BenchmarkTBSMath(b *testing.B) {
+	var sink int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += transportBlockBitsMath(1+i%15, 1+i%25)
+	}
+	benchSink = sink
+}
+
+var benchSink int
+
+// The whole subframe callback — HARQ, scheduler, DCI codec, SINR
+// lookups, trace-off — must be allocation-free once warmed up.
+func TestCellSimSubframeZeroAllocs(t *testing.T) {
+	eng, _ := benchCellSim(t)
+	horizon := sim.Time(0)
+	// Warm up past the first fading block so scratch buffers and the
+	// rx-power memo are grown.
+	for i := 0; i < 200; i++ {
+		horizon += SubframeDuration
+		eng.Run(horizon)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		horizon += SubframeDuration
+		eng.Run(horizon)
+	})
+	// The rx-power memo repopulates once per 100 ms coherence block;
+	// amortized over subframes that rounds to zero, but a map bucket
+	// growth can still land inside one sampled window early in the
+	// run. Demand strictly amortized-zero behaviour.
+	if avg != 0 {
+		t.Fatalf("subframe loop allocates %.2f times per ms in steady state", avg)
 	}
 }
 

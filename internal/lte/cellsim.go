@@ -17,6 +17,13 @@ import (
 // reports every 2 ms. This is the fine-grained counterpart to the
 // fluid model in internal/netsim, used for link-level experiments and
 // the scheduler ablation.
+//
+// The per-subframe path is allocation-free in steady state: the cell
+// owns one AllocScratch, one DCI slice, one marshal buffer and one
+// SINR scratch, all reused every TTI, and HARQ state lives in dense
+// per-subchannel slots rather than maps. All per-subframe iteration is
+// in ascending subchannel order, so behaviour is deterministic by
+// construction.
 type CellSim struct {
 	Cell *Cell
 	Env  *Environment
@@ -33,6 +40,16 @@ type CellSim struct {
 	rng      *rand.Rand
 	ues      []*simUE
 	subframe int64
+
+	// Reused per-subframe working storage.
+	scratch    AllocScratch
+	scheds     []*SchedUE
+	allAllowed []int
+	busy       []bool
+	free       []int
+	dcis       []DCI
+	dciBuf     []byte
+	sinrs      []float64
 }
 
 // simUE couples a radio client with its MAC state.
@@ -40,20 +57,31 @@ type simUE struct {
 	client   *Client
 	sched    *SchedUE
 	reporter *CQIReporter
-	// harq holds the in-flight process per subchannel (LTE runs 8+
-	// parallel processes; one per subchannel is an adequate model at
-	// this granularity).
-	harq map[int]*harqEntry
+	// harq holds the in-flight process per subchannel, indexed by
+	// subchannel (LTE runs 8+ parallel processes; one per subchannel
+	// is an adequate model at this granularity). Slots are reused in
+	// place; active marks the in-flight ones.
+	harq []harqSlot
 	// delivered accumulates acknowledged bits.
 	delivered int64
 	// blocks/failures count first transmissions and their failures.
 	blocks, failures int64
 }
 
+// harqSlot binds an in-flight HARQ process to the exact number of
+// queue bits its transport block carries, so delivery and drop
+// accounting conserve bits precisely.
+type harqSlot struct {
+	p      HARQProcess
+	bits   int64
+	active bool
+}
+
 // NewCellSim builds a simulation of cell serving the given clients on
 // the engine. CQI measurement noise follows the Figure 8 experiment
 // (5%).
 func NewCellSim(eng *sim.Engine, env *Environment, cell *Cell, clients []*Client) *CellSim {
+	n := cell.BW.Subchannels()
 	cs := &CellSim{
 		Cell:        cell,
 		Env:         env,
@@ -61,17 +89,28 @@ func NewCellSim(eng *sim.Engine, env *Environment, cell *Cell, clients []*Client
 		ReportEvery: CQIReportPeriod,
 		eng:         eng,
 		rng:         eng.NewStream("cellsim"),
+		allAllowed:  make([]int, n),
+		busy:        make([]bool, n),
+		free:        make([]int, 0, n),
+		sinrs:       make([]float64, n),
+	}
+	for i := range cs.allAllowed {
+		cs.allAllowed[i] = i
 	}
 	for _, cl := range clients {
 		cs.ues = append(cs.ues, &simUE{
 			client: cl,
 			sched: &SchedUE{
 				ID:         cl.ID,
-				SubbandCQI: make([]int, cell.BW.Subchannels()),
+				SubbandCQI: make([]int, n),
 			},
 			reporter: NewCQIReporter(0.05, eng.NewStream("cqi")),
-			harq:     make(map[int]*harqEntry),
+			harq:     make([]harqSlot, n),
 		})
+	}
+	cs.scheds = make([]*SchedUE, len(cs.ues))
+	for i, ue := range cs.ues {
+		cs.scheds[i] = ue.sched
 	}
 	return cs
 }
@@ -122,26 +161,17 @@ func (cs *CellSim) report() {
 	tMS := int64(cs.eng.Now() / time.Millisecond)
 	s := cs.Cell.BW.Subchannels()
 	rec := cs.eng.Recorder()
+	sinrs := cs.sinrs[:s]
 	for _, ue := range cs.ues {
-		sinrs := make([]float64, s)
 		for k := 0; k < s; k++ {
 			sinrs[k] = cs.Env.DownlinkSINR(cs.Cell, cs.Interferers, ue.client, k, tMS)
 		}
-		rep := ue.reporter.Report(sinrs)
-		copy(ue.sched.SubbandCQI, rep.Subband)
+		rep := ue.reporter.ReportInto(sinrs, ue.sched.SubbandCQI)
 		if rec != nil {
 			rec.Record(trace.Record{T: int64(cs.eng.Now()), AP: int32(cs.Cell.ID), Kind: trace.KindLTECQI,
 				N: 2, Args: [trace.MaxArgs]int64{int64(ue.client.ID), int64(rep.Wideband)}})
 		}
 	}
-}
-
-// harqEntry binds an in-flight HARQ process to the exact number of
-// queue bits its transport block carries, so delivery and drop
-// accounting conserve bits precisely.
-type harqEntry struct {
-	p    *HARQProcess
-	bits int64
 }
 
 // tick advances one subframe.
@@ -153,81 +183,74 @@ func (cs *CellSim) tick() {
 	}
 	allowed := cs.Allowed
 	if allowed == nil {
-		allowed = make([]int, cs.Cell.BW.Subchannels())
-		for i := range allowed {
-			allowed[i] = i
-		}
+		allowed = cs.allAllowed
 	}
 	// HARQ retransmissions take priority: a subchannel with an open
 	// process retries there before new data is scheduled.
 	tMS := int64(cs.eng.Now() / time.Millisecond)
-	busy := map[int]bool{}
+	n := cs.Cell.BW.Subchannels()
+	busy := cs.busy[:n]
+	for i := range busy {
+		busy[i] = false
+	}
 	for _, ue := range cs.ues {
-		for _, k := range sortedHarqKeys(ue.harq) {
-			e := ue.harq[k]
+		for k := range ue.harq {
+			e := &ue.harq[k]
+			if !e.active {
+				continue
+			}
 			busy[k] = true
 			sinr := cs.Env.DownlinkSINR(cs.Cell, cs.Interferers, ue.client, k, tMS)
 			if e.p.Transmit(sinr, cs.rng) {
 				ue.delivered += e.bits
-				delete(ue.harq, k)
+				e.active = false
 			} else if e.p.Done() {
 				// Dropped after max attempts: the bits return to
 				// the queue (RLC retransmission).
 				ue.sched.BacklogBits += e.bits
-				delete(ue.harq, k)
+				e.active = false
 			}
 		}
 	}
-	free := allowed[:0:0]
+	free := cs.free[:0]
 	for _, k := range allowed {
 		if !busy[k] {
 			free = append(free, k)
 		}
 	}
+	cs.free = free
 	// New transmissions via the MAC scheduler. The scheduler drains
 	// the queues; we split each UE's served total across its granted
 	// subchannels so HARQ bookkeeping conserves bits exactly.
-	scheds := make([]*SchedUE, len(cs.ues))
-	for i, ue := range cs.ues {
-		scheds[i] = ue.sched
-	}
-	alloc, served := cs.Sched.Allocate(cs.Cell.BW, free, scheds)
+	cs.Sched.Allocate(&cs.scratch, cs.Cell.BW, free, cs.scheds)
 	// The allocation reaches clients as PDCCH grants: encode each DCI
 	// and decode it on the "client side" — the control channel is a
 	// real codec path, not a shared pointer.
-	dcis := GrantFromAllocation(cs.Cell.BW, alloc, func(ue, sc int) int {
-		u := cs.byID(ue)
-		if sc < len(u.sched.SubbandCQI) {
-			return u.sched.SubbandCQI[sc]
-		}
-		return 0
-	})
+	cs.dcis = AppendGrants(cs.dcis[:0], cs.Cell.BW, &cs.scratch, cs.scheds)
 	rec := cs.eng.Recorder()
-	for _, g := range dcis {
-		raw, err := g.Marshal(cs.Cell.BW)
+	for _, g := range cs.dcis {
+		raw, err := g.MarshalAppend(cs.dciBuf[:0], cs.Cell.BW)
 		if err != nil {
 			panic("lte: scheduler emitted an unencodable grant: " + err.Error())
 		}
+		cs.dciBuf = raw
 		decoded, err := UnmarshalDCI(raw, cs.Cell.BW)
 		if err != nil {
 			panic("lte: control channel corrupted a grant: " + err.Error())
 		}
 		id := int(decoded.RNTI)
-		ks := decoded.Subchannels(cs.Cell.BW)
-		remaining := served[id]
+		ue, ui := cs.byID(id)
+		remaining := cs.scratch.Served[ui]
 		grantBits := remaining
-		ue := cs.byID(id)
-		var grantMask int64
-		for _, k := range ks {
-			if k < 63 {
-				grantMask |= 1 << k
-			}
-		}
+		grantMask := int64(decoded.RBGMask)
 		if rec != nil {
 			rec.Record(trace.Record{T: int64(cs.eng.Now()), AP: int32(cs.Cell.ID), Kind: trace.KindLTEGrant,
 				N: 3, Args: [trace.MaxArgs]int64{int64(id), grantMask, grantBits}})
 		}
-		for _, k := range ks {
+		for k := 0; k < n; k++ {
+			if decoded.RBGMask&(1<<uint(k)) == 0 {
+				continue
+			}
 			cqi := ue.sched.SubbandCQI[k]
 			if cqi <= 0 {
 				continue
@@ -241,31 +264,23 @@ func (cs *CellSim) tick() {
 			if bits == 0 {
 				continue
 			}
-			p := NewHARQProcess(cqi)
+			slot := &ue.harq[k]
+			slot.p = HARQProcess{CQI: cqi}
 			sinr := cs.Env.DownlinkSINR(cs.Cell, cs.Interferers, ue.client, k, tMS)
 			ue.blocks++
-			if p.Transmit(sinr, cs.rng) {
+			if slot.p.Transmit(sinr, cs.rng) {
 				ue.delivered += bits
 			} else {
 				ue.failures++
-				if p.Done() {
+				if slot.p.Done() {
 					ue.sched.BacklogBits += bits
 				} else {
-					ue.harq[k] = &harqEntry{p: p, bits: bits}
+					slot.bits = bits
+					slot.active = true
 				}
 			}
 		}
 	}
-}
-
-// sortedHarqKeys returns map keys ascending (deterministic iteration).
-func sortedHarqKeys(m map[int]*harqEntry) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sortInts(out)
-	return out
 }
 
 func sortInts(v []int) {
@@ -276,10 +291,11 @@ func sortInts(v []int) {
 	}
 }
 
-func (cs *CellSim) byID(id int) *simUE {
-	for _, ue := range cs.ues {
+// byID resolves a scheduled client ID to its simUE and scheds index.
+func (cs *CellSim) byID(id int) (*simUE, int) {
+	for i, ue := range cs.ues {
 		if ue.client.ID == id {
-			return ue
+			return ue, i
 		}
 	}
 	panic("lte: scheduler allocated to unknown UE")

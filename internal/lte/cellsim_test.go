@@ -112,7 +112,9 @@ func TestCellSimConservesBits(t *testing.T) {
 	queued := cs.ues[0].sched.BacklogBits
 	var inflight int64
 	for _, e := range cs.ues[0].harq {
-		inflight += e.bits
+		if e.active {
+			inflight += e.bits
+		}
 	}
 	if got := delivered + queued + inflight; got != offered {
 		t.Fatalf("bits not conserved: %d delivered + %d queued + %d in flight != %d",

@@ -29,6 +29,16 @@ type CQIReporter struct {
 	// against exactly this kind of imperfection.
 	NoiseProb float64
 	rng       *rand.Rand
+
+	// Wideband EESM memo: the exact SINR vector of the last report and
+	// the CQI it quantized to. Within a fading coherence block the
+	// vector repeats bit-for-bit, so an element-wise equality check
+	// replaces the per-subband exp/pow chain; any difference at all
+	// recomputes. The memo draws nothing from rng, so the noise-draw
+	// stream is unaffected.
+	lastSinrs []float64
+	lastWB    int
+	lastSet   bool
 }
 
 // NewCQIReporter returns a reporter with the given measurement noise
@@ -40,7 +50,17 @@ func NewCQIReporter(noiseProb float64, rng *rand.Rand) *CQIReporter {
 
 // Report builds a mode 3-0 report from true per-subchannel SINRs.
 func (r *CQIReporter) Report(sinrsDB []float64) CQIReport {
-	sub := make([]int, len(sinrsDB))
+	return r.ReportInto(sinrsDB, make([]int, len(sinrsDB)))
+}
+
+// ReportInto is Report writing the sub-band CQIs into the caller's sub
+// slice (len(sub) must be at least len(sinrsDB)), so per-report callers
+// like CellSim reuse one buffer instead of allocating every cycle. The
+// returned report aliases sub. Noise draws happen in sub-band order
+// followed by the wideband computation, exactly as Report always has,
+// so rng streams stay aligned with pre-existing traces.
+func (r *CQIReporter) ReportInto(sinrsDB []float64, sub []int) CQIReport {
+	sub = sub[:len(sinrsDB)]
 	for i, s := range sinrsDB {
 		c := phy.LTECQIFromSINR(s)
 		if r.NoiseProb > 0 && r.rng != nil && r.rng.Float64() < r.NoiseProb {
@@ -59,10 +79,31 @@ func (r *CQIReporter) Report(sinrsDB []float64) CQIReport {
 		sub[i] = c
 	}
 	return CQIReport{
-		Wideband: phy.LTECQIFromSINR(phy.EffectiveSINRdB(sinrsDB)),
+		Wideband: r.wideband(sinrsDB),
 		Subband:  sub,
 		Bits:     CQIReportBits,
 	}
+}
+
+// wideband serves the EESM-derived wideband CQI through the memo.
+func (r *CQIReporter) wideband(sinrsDB []float64) int {
+	if r.lastSet && len(r.lastSinrs) == len(sinrsDB) {
+		same := true
+		for i, s := range sinrsDB {
+			if r.lastSinrs[i] != s {
+				same = false
+				break
+			}
+		}
+		if same {
+			return r.lastWB
+		}
+	}
+	wb := phy.LTECQIFromSINR(phy.EffectiveSINRdB(sinrsDB))
+	r.lastSinrs = append(r.lastSinrs[:0], sinrsDB...)
+	r.lastWB = wb
+	r.lastSet = true
+	return wb
 }
 
 // CQITracker keeps, per subchannel, the maximum CQI observed in a

@@ -84,17 +84,28 @@ func TestDCISubchannels(t *testing.T) {
 
 // The scheduler -> control channel path: an allocation becomes one DCI
 // per scheduled client whose mask reproduces exactly the granted set.
-func TestGrantFromAllocation(t *testing.T) {
-	alloc := Allocation{0: 7, 1: 7, 5: 3, 12: 7}
-	cqiOf := func(ue, sc int) int {
-		if ue == 7 && sc == 12 {
-			return 4 // the weakest of 7's subchannels
-		}
-		return 11
+func TestAppendGrants(t *testing.T) {
+	// UE 7 holds subchannels 0, 1 and 12 (12 at its weakest CQI, 4);
+	// UE 3 holds subchannel 5. Deliberately listed out of ID order to
+	// exercise the ascending-RNTI output sort.
+	cqi7 := uniformCQI(BW5MHz, 11)
+	cqi7[12] = 4
+	ues := []*SchedUE{
+		{ID: 7, SubbandCQI: cqi7},
+		{ID: 3, SubbandCQI: uniformCQI(BW5MHz, 11)},
 	}
-	grants := GrantFromAllocation(BW5MHz, alloc, cqiOf)
+	var scratch AllocScratch
+	scratch.Reset(BW5MHz.Subchannels(), len(ues))
+	scratch.UEOf[0] = 0
+	scratch.UEOf[1] = 0
+	scratch.UEOf[5] = 1
+	scratch.UEOf[12] = 0
+	grants := AppendGrants(nil, BW5MHz, &scratch, ues)
 	if len(grants) != 2 {
 		t.Fatalf("grants = %d, want 2", len(grants))
+	}
+	if grants[0].RNTI != 3 || grants[1].RNTI != 7 {
+		t.Fatalf("grants not in ascending RNTI order: %d, %d", grants[0].RNTI, grants[1].RNTI)
 	}
 	byRNTI := map[uint16]DCI{}
 	for _, g := range grants {
@@ -133,8 +144,16 @@ func TestGrantFromAllocation(t *testing.T) {
 	}
 }
 
-func TestGrantFromAllocationEmpty(t *testing.T) {
-	if got := GrantFromAllocation(BW5MHz, Allocation{}, nil); len(got) != 0 {
+func TestAppendGrantsEmpty(t *testing.T) {
+	var scratch AllocScratch
+	scratch.Reset(BW5MHz.Subchannels(), 0)
+	if got := AppendGrants(nil, BW5MHz, &scratch, nil); len(got) != 0 {
 		t.Fatalf("empty allocation produced %d grants", len(got))
+	}
+	// An unsized scratch (never Reset) must also yield no grants
+	// rather than index out of range.
+	var fresh AllocScratch
+	if got := AppendGrants(nil, BW5MHz, &fresh, nil); len(got) != 0 {
+		t.Fatalf("unsized scratch produced %d grants", len(got))
 	}
 }

@@ -113,6 +113,48 @@ type Environment struct {
 	// mid-run must call Invalidate with its ID. NewEnvironment enables
 	// the cache; zero-value Environments compute uncached.
 	Cache *propagation.LinkCache
+
+	// rxTab caches the full per-subchannel received power — static
+	// link gain plus the fading draw of the current coherence block —
+	// in both dBm and mW, keyed by directed link and subchannel. The
+	// fading process is a pure function of (link, subchannel, block),
+	// so within one block the cached value is bit-identical to the
+	// recomputation it replaces; entries self-expire when the block
+	// advances. Active only when the link-loss cache is (the
+	// Invalidate contract is the same: movers must call Invalidate,
+	// which bumps rxEpoch). Interferer activity is NOT cached —
+	// TransmitsIn gating stays per-call, so toggling a cell's
+	// Activity or ActiveSubchannels mid-run is safe.
+	//
+	// The table is open-addressed with linear probing rather than a Go
+	// map: every SINR query on the subframe path probes it several
+	// times, and the key set (links x subchannels) is small and fixed,
+	// so a flat table at < 1/2 load beats the general map by a wide
+	// margin and allocates only while new keys appear.
+	rxTab   []rxEntry
+	rxUsed  int
+	rxEpoch uint64
+
+	// noise floor memo, guarded by the noise figure it was built for.
+	noiseSet  bool
+	noiseNF   float64
+	noiseDBmC float64
+	noiseMWC  float64
+}
+
+// rxEntry is one directed (cell -> receiver, subchannel) path's cached
+// state: the coherence block's received power, plus a memo of the last
+// interference denominator converted to dB (denDB is a pure function
+// of denMW, so it needs no epoch/block validation — an exact match on
+// the milliwatt sum guarantees an identical conversion).
+type rxEntry struct {
+	link         uint64
+	sc           int32
+	used         bool
+	epoch        uint64
+	block        int64
+	dbm, mw      float64
+	denMW, denDB float64
 }
 
 // NewEnvironment builds the default evaluation environment: calibrated
@@ -134,6 +176,10 @@ func (e *Environment) Invalidate(nodeID int) {
 	if e.Cache != nil {
 		e.Cache.Invalidate(nodeID)
 	}
+	// Received-power entries fold the (now stale) static gain in, so
+	// drop them all; the epoch bump is O(1) and misses repopulate from
+	// the link-loss cache, which invalidates per node underneath.
+	e.rxEpoch++
 }
 
 // linkLossDB returns the static link loss for the (cell, client) pair,
@@ -148,10 +194,109 @@ func (e *Environment) linkLossDB(cellID, clientID int, cellPos, clientPos geo.Po
 // rxPowerDBm returns the power a receiver at rxPos sees from cell tx on
 // one resource block of subchannel sc at time tMS.
 func (e *Environment) rxPowerDBm(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
+	if e.memoActive() {
+		dbm, _ := e.rxLookup(tx, rxPos, rxID, sc, tMS)
+		return dbm
+	}
+	return e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS)
+}
+
+// rxPowerMW is rxPowerDBm in milliwatts — the interferer-summation form.
+func (e *Environment) rxPowerMW(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
+	if e.memoActive() {
+		_, mw := e.rxLookup(tx, rxPos, rxID, sc, tMS)
+		return mw
+	}
+	return propagation.DBmToMW(e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS))
+}
+
+// rxPowerDBmUncached is the direct computation behind the memo.
+func (e *Environment) rxPowerDBmUncached(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
 	gain := tx.Antenna.GainDB(tx.Pos.Bearing(rxPos))
 	loss := e.linkLossDB(tx.ID, rxID, tx.Pos, rxPos)
 	fade := e.Fading.GainDB(propagation.LinkID(tx.ID, rxID), sc, tMS)
 	return tx.PerRBPowerDBm() + gain - loss + fade
+}
+
+// memoActive mirrors linkLossDB's condition: received-power caching is
+// on exactly when static-loss caching is, so the two layers share one
+// Invalidate contract.
+func (e *Environment) memoActive() bool {
+	return e.Cache != nil && e.Cache.Model() == e.Model
+}
+
+// rxLookup serves rxPowerDBm/rxPowerMW from the memo, computing and
+// storing the (dBm, mW) pair on the first query of a coherence block.
+func (e *Environment) rxLookup(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) (float64, float64) {
+	block := int64(0)
+	if f := e.Fading; f != nil && !f.Disabled {
+		block = tMS / f.BlockMS
+	}
+	ent := e.rxSlot(propagation.LinkID(tx.ID, rxID), int32(sc))
+	if ent.epoch != e.rxEpoch || ent.block != block {
+		ent.epoch, ent.block = e.rxEpoch, block
+		ent.dbm = e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS)
+		ent.mw = propagation.DBmToMW(ent.dbm)
+	}
+	return ent.dbm, ent.mw
+}
+
+// rxSlot returns the table slot for (link, sc), inserting the key on
+// its first appearance. Growth keeps the load factor under 1/2 so the
+// linear probes in rxProbe stay short.
+func (e *Environment) rxSlot(link uint64, sc int32) *rxEntry {
+	if 2*(e.rxUsed+1) > len(e.rxTab) {
+		e.rxGrow()
+	}
+	ent := rxProbe(e.rxTab, link, sc)
+	if !ent.used {
+		ent.used, ent.link, ent.sc = true, link, sc
+		// block -1 never matches a real coherence block (time is
+		// non-negative), so the first lookup always computes.
+		ent.block = -1
+		e.rxUsed++
+	}
+	return ent
+}
+
+// rxProbe finds the entry holding (link, sc), or the empty slot where
+// it would be inserted. The table length is a power of two.
+func rxProbe(tab []rxEntry, link uint64, sc int32) *rxEntry {
+	mask := uint64(len(tab) - 1)
+	h := (link ^ uint64(uint32(sc))*0x9E3779B97F4A7C15) * 0x9E3779B97F4A7C15
+	for i := (h >> 32) & mask; ; i = (i + 1) & mask {
+		ent := &tab[i]
+		if !ent.used || (ent.link == link && ent.sc == sc) {
+			return ent
+		}
+	}
+}
+
+// rxGrow doubles the table (or seeds it) and rehashes live entries.
+func (e *Environment) rxGrow() {
+	n := 2 * len(e.rxTab)
+	if n < 64 {
+		n = 64
+	}
+	old := e.rxTab
+	e.rxTab = make([]rxEntry, n)
+	for i := range old {
+		if old[i].used {
+			*rxProbe(e.rxTab, old[i].link, old[i].sc) = old[i]
+		}
+	}
+}
+
+// noise returns the per-resource-block thermal noise floor in dBm and
+// mW, recomputed only when the environment's noise figure changes.
+func (e *Environment) noise() (float64, float64) {
+	if !e.noiseSet || e.noiseNF != e.NoiseFigureDB {
+		e.noiseNF = e.NoiseFigureDB
+		e.noiseDBmC = propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)
+		e.noiseMWC = propagation.DBmToMW(e.noiseDBmC)
+		e.noiseSet = true
+	}
+	return e.noiseDBmC, e.noiseMWC
 }
 
 // DownlinkSINR returns the data-resource-element SINR a client sees in
@@ -163,15 +308,28 @@ func (e *Environment) rxPowerDBm(tx *Cell, rxPos geo.Point, rxID, sc int, tMS in
 // data SINR intact and costs at most ~20% goodput (Figure 7b).
 func (e *Environment) DownlinkSINR(serving *Cell, interferers []*Cell, cl *Client, sc int, tMS int64) float64 {
 	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
-	noise := propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)
-	den := propagation.DBmToMW(noise)
+	_, den := e.noise()
 	for _, ic := range interferers {
 		if ic == serving || !ic.TransmitsIn(sc) {
 			continue
 		}
-		den += propagation.DBmToMW(e.rxPowerDBm(ic, cl.Pos, cl.ID, sc, tMS))
+		den += e.rxPowerMW(ic, cl.Pos, cl.ID, sc, tMS)
 	}
-	return signal - propagation.MWToDBm(den)
+	if !e.memoActive() {
+		return signal - propagation.MWToDBm(den)
+	}
+	// The mW denominator repeats for the whole coherence block while
+	// the interferer set holds still, so memoize its dB conversion on
+	// the serving link's table entry. Probe fresh: the interferer
+	// lookups above may have grown the table, moving the entry the
+	// signal lookup touched. The entry exists (rxPowerDBm inserted
+	// it), and a zero-valued denMW can never match (den includes a
+	// strictly positive noise floor), so first use always computes.
+	ent := rxProbe(e.rxTab, propagation.LinkID(serving.ID, cl.ID), int32(sc))
+	if ent.denMW != den {
+		ent.denMW, ent.denDB = den, propagation.MWToDBm(den)
+	}
+	return signal - ent.denDB
 }
 
 // PuncturedGoodputFactor returns the fraction of goodput that survives
@@ -224,7 +382,7 @@ func (e *Environment) UplinkSINR(cl *Client, serving *Cell, nRBs, sc int, tMS in
 	loss := e.linkLossDB(serving.ID, cl.ID, serving.Pos, cl.Pos)
 	fade := e.Fading.GainDB(propagation.LinkID(cl.ID+1<<16, serving.ID), sc, tMS)
 	signal := perRB + gain - loss + fade
-	noise := propagation.NoiseDBm(RBBandwidthHz, e.NoiseFigureDB)
+	noise, _ := e.noise()
 	return signal - noise
 }
 

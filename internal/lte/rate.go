@@ -6,13 +6,16 @@ import (
 
 // TransportBlockBits returns the number of information bits carried by
 // one subframe transmission spanning the given number of resource
-// blocks at the given CQI. CQI 0 carries nothing.
+// blocks at the given CQI. CQI 0 carries nothing. Served from the
+// init-time tables in tables.go for every in-range (cqi, rbs) pair.
 func TransportBlockBits(cqi, rbs int) int {
 	if cqi <= 0 || rbs <= 0 {
 		return 0
 	}
-	eff := phy.LTECQI(cqi).Efficiency
-	return int(eff * float64(rbs) * DataREPerRBPerSubframe)
+	if cqi <= phy.LTECQICount && rbs <= tbsMaxRBs {
+		return int(tbsByRB[cqi][rbs])
+	}
+	return transportBlockBitsMath(cqi, rbs)
 }
 
 // SubchannelRateBps returns the steady-state downlink data rate of one

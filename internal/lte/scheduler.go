@@ -8,6 +8,13 @@ import "math"
 // component only restricts the *set* of subchannels handed to it
 // (Section 4.3), and the scheduler remains free to place any client in
 // any permitted subchannel.
+//
+// The per-TTI output lives in an AllocScratch the caller owns and
+// reuses, so steady-state scheduling performs zero heap allocations:
+// the cell allocates one scratch at attach time and every subframe
+// writes over it. Consumers iterate UEOf in ascending subchannel
+// order, which is explicitly deterministic (unlike the map-keyed
+// allocation this replaced, whose range order was unspecified).
 
 // SchedUE is a scheduler's view of one connected client.
 type SchedUE struct {
@@ -23,29 +30,70 @@ type SchedUE struct {
 	avgRate float64
 }
 
-// Allocation maps subchannel index -> scheduled UE id for one subframe.
-type Allocation map[int]int
+// AllocScratch holds one subframe's allocation result plus the
+// scheduler's working buffers. It is owned by the caller (one per
+// cell), passed to every Allocate call, and reused across TTIs; after
+// the first few calls it never allocates. The zero value is ready to
+// use.
+type AllocScratch struct {
+	// UEOf[sc] is the index into the ues slice of the client granted
+	// subchannel sc, or -1 when sc is unallocated. Its length is the
+	// carrier's subchannel count. Iterating it in ascending index
+	// order is the canonical deterministic traversal.
+	UEOf []int32
+	// Served[i] is the number of bits served to ues[i] this subframe.
+	Served []int64
+
+	// Internal working storage, reused across calls.
+	cands []int32 // round-robin: backlogged candidate indices
+	masks []uint32
+	worst []int32
+	order []int32
+	buf   []byte // DCI marshal scratch (used by CellSim)
+}
+
+// Reset sizes the scratch for a carrier with the given subchannel
+// count and UE population, clearing UEOf and Served. Allocate
+// implementations call it on entry; buffers grow once and are reused.
+func (s *AllocScratch) Reset(subchannels, ues int) {
+	if cap(s.UEOf) < subchannels {
+		s.UEOf = make([]int32, subchannels)
+	}
+	s.UEOf = s.UEOf[:subchannels]
+	for i := range s.UEOf {
+		s.UEOf[i] = -1
+	}
+	if cap(s.Served) < ues {
+		s.Served = make([]int64, ues)
+	}
+	s.Served = s.Served[:ues]
+	for i := range s.Served {
+		s.Served[i] = 0
+	}
+}
+
+// Grants returns the number of subchannels allocated this subframe.
+func (s *AllocScratch) Grants() int {
+	n := 0
+	for _, u := range s.UEOf {
+		if u >= 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Scheduler assigns allowed subchannels to clients each downlink
-// subframe and returns the allocation plus the bits served per UE id.
+// subframe, writing the allocation and the per-UE served bits into
+// scratch.
 type Scheduler interface {
 	// Allocate may assume every UE's SubbandCQI covers every
 	// subchannel in allowed. It must drain BacklogBits of scheduled
-	// UEs by the amount served.
-	Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64)
+	// UEs by the amount served. It resets and overwrites scratch; the
+	// caller owns the scratch and reuses it across subframes.
+	Allocate(scratch *AllocScratch, bw Bandwidth, allowed []int, ues []*SchedUE)
 	// Name identifies the policy in experiment output.
 	Name() string
-}
-
-// backlogged filters UEs with data.
-func backlogged(ues []*SchedUE) []*SchedUE {
-	out := ues[:0:0]
-	for _, u := range ues {
-		if u.BacklogBits > 0 {
-			out = append(out, u)
-		}
-	}
-	return out
 }
 
 // serve grants subchannel sc of bw to u and returns the bits served.
@@ -72,24 +120,27 @@ type RoundRobin struct {
 func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Allocate implements Scheduler.
-func (r *RoundRobin) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64) {
-	alloc := make(Allocation)
-	served := make(map[int]int64)
+func (r *RoundRobin) Allocate(s *AllocScratch, bw Bandwidth, allowed []int, ues []*SchedUE) {
+	s.Reset(bw.Subchannels(), len(ues))
 	for _, sc := range allowed {
-		cands := backlogged(ues)
-		if len(cands) == 0 {
+		s.cands = s.cands[:0]
+		for i, u := range ues {
+			if u.BacklogBits > 0 {
+				s.cands = append(s.cands, int32(i))
+			}
+		}
+		if len(s.cands) == 0 {
 			break
 		}
-		u := cands[r.next%len(cands)]
+		i := s.cands[r.next%len(s.cands)]
 		r.next++
-		bits := serve(bw, sc, u)
+		bits := serve(bw, sc, ues[i])
 		if bits == 0 {
 			continue
 		}
-		alloc[sc] = u.ID
-		served[u.ID] += bits
+		s.UEOf[sc] = i
+		s.Served[i] += bits
 	}
-	return alloc, served
 }
 
 // ProportionalFair maximizes sum log-throughput: each subchannel goes
@@ -106,17 +157,17 @@ type ProportionalFair struct {
 func (p *ProportionalFair) Name() string { return "proportional-fair" }
 
 // Allocate implements Scheduler.
-func (p *ProportionalFair) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE) (Allocation, map[int]int64) {
+func (p *ProportionalFair) Allocate(s *AllocScratch, bw Bandwidth, allowed []int, ues []*SchedUE) {
 	beta := p.Beta
 	if beta == 0 {
 		beta = 1.0 / 1000
 	}
-	alloc := make(Allocation)
-	served := make(map[int]int64)
+	s.Reset(bw.Subchannels(), len(ues))
+	tbs := &scTBS[bw.bwIndex()]
 	for _, sc := range allowed {
-		var best *SchedUE
+		best := -1
 		bestMetric := math.Inf(-1)
-		for _, u := range ues {
+		for i, u := range ues {
 			if u.BacklogBits <= 0 {
 				continue
 			}
@@ -124,7 +175,10 @@ func (p *ProportionalFair) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE)
 			if sc < len(u.SubbandCQI) {
 				cqi = u.SubbandCQI[sc]
 			}
-			rate := float64(TransportBlockBits(cqi, bw.SubchannelRBs(sc)))
+			if cqi < 0 || cqi > len(tbs)-1 {
+				continue
+			}
+			rate := float64(tbs[cqi][sc])
 			if rate == 0 {
 				continue
 			}
@@ -134,22 +188,21 @@ func (p *ProportionalFair) Allocate(bw Bandwidth, allowed []int, ues []*SchedUE)
 			}
 			if m := rate / avg; m > bestMetric {
 				bestMetric = m
-				best = u
+				best = i
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			continue
 		}
-		bits := serve(bw, sc, best)
+		bits := serve(bw, sc, ues[best])
 		if bits == 0 {
 			continue
 		}
-		alloc[sc] = best.ID
-		served[best.ID] += bits
+		s.UEOf[sc] = int32(best)
+		s.Served[best] += bits
 	}
 	// EWMA update for every client, scheduled or not.
-	for _, u := range ues {
-		u.avgRate = (1-beta)*u.avgRate + beta*float64(served[u.ID])
+	for i, u := range ues {
+		u.avgRate = (1-beta)*u.avgRate + beta*float64(s.Served[i])
 	}
-	return alloc, served
 }

@@ -21,16 +21,40 @@ func uniformCQI(bw Bandwidth, cqi int) []int {
 	return out
 }
 
+// allocMap renders a scratch allocation in the historical
+// subchannel -> UE id form for test assertions.
+func allocMap(s *AllocScratch, ues []*SchedUE) map[int]int {
+	m := map[int]int{}
+	for sc, ui := range s.UEOf {
+		if ui >= 0 {
+			m[sc] = ues[ui].ID
+		}
+	}
+	return m
+}
+
+// servedMap renders per-UE served bits keyed by UE id.
+func servedMap(s *AllocScratch, ues []*SchedUE) map[int]int64 {
+	m := map[int]int64{}
+	for i, b := range s.Served {
+		if b != 0 {
+			m[ues[i].ID] = b
+		}
+	}
+	return m
+}
+
 func TestRoundRobinSharesEvenly(t *testing.T) {
 	sched := &RoundRobin{}
 	ues := []*SchedUE{
 		{ID: 1, BacklogBits: 1 << 40, SubbandCQI: uniformCQI(BW5MHz, 10)},
 		{ID: 2, BacklogBits: 1 << 40, SubbandCQI: uniformCQI(BW5MHz, 10)},
 	}
+	var scratch AllocScratch
 	served := map[int]int64{}
 	for sf := 0; sf < 100; sf++ {
-		_, s := sched.Allocate(BW5MHz, allSubchannels(BW5MHz), ues)
-		for id, bits := range s {
+		sched.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), ues)
+		for id, bits := range servedMap(&scratch, ues) {
 			served[id] += bits
 		}
 	}
@@ -47,7 +71,9 @@ func TestSchedulerRespectsAllowedSet(t *testing.T) {
 	for _, sched := range []Scheduler{&RoundRobin{}, &ProportionalFair{}} {
 		ues := []*SchedUE{{ID: 1, BacklogBits: 1 << 40, SubbandCQI: uniformCQI(BW5MHz, 10)}}
 		allowed := []int{2, 5, 11}
-		alloc, _ := sched.Allocate(BW5MHz, allowed, ues)
+		var scratch AllocScratch
+		sched.Allocate(&scratch, BW5MHz, allowed, ues)
+		alloc := allocMap(&scratch, ues)
 		for sc := range alloc {
 			ok := false
 			for _, a := range allowed {
@@ -69,10 +95,11 @@ func TestSchedulerRespectsAllowedSet(t *testing.T) {
 func TestSchedulerDrainsBacklog(t *testing.T) {
 	for _, sched := range []Scheduler{&RoundRobin{}, &ProportionalFair{}} {
 		u := &SchedUE{ID: 1, BacklogBits: 3000, SubbandCQI: uniformCQI(BW5MHz, 15)}
+		var scratch AllocScratch
 		total := int64(0)
 		for sf := 0; sf < 20 && u.BacklogBits > 0; sf++ {
-			_, served := sched.Allocate(BW5MHz, allSubchannels(BW5MHz), []*SchedUE{u})
-			total += served[1]
+			sched.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), []*SchedUE{u})
+			total += scratch.Served[0]
 		}
 		if u.BacklogBits != 0 {
 			t.Fatalf("%s left %d bits queued", sched.Name(), u.BacklogBits)
@@ -89,9 +116,11 @@ func TestSchedulerSkipsIdleAndZeroCQI(t *testing.T) {
 			{ID: 1, BacklogBits: 0, SubbandCQI: uniformCQI(BW5MHz, 10)},      // idle
 			{ID: 2, BacklogBits: 1 << 20, SubbandCQI: uniformCQI(BW5MHz, 0)}, // out of range
 		}
-		alloc, served := sched.Allocate(BW5MHz, allSubchannels(BW5MHz), ues)
-		if len(served) != 0 || len(alloc) != 0 {
-			t.Fatalf("%s scheduled idle or undecodable clients: %v", sched.Name(), served)
+		var scratch AllocScratch
+		sched.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), ues)
+		if scratch.Grants() != 0 || len(servedMap(&scratch, ues)) != 0 {
+			t.Fatalf("%s scheduled idle or undecodable clients: %v",
+				sched.Name(), servedMap(&scratch, ues))
 		}
 	}
 }
@@ -115,10 +144,11 @@ func TestProportionalFairPrefersGoodSubbands(t *testing.T) {
 		{ID: 1, BacklogBits: 1 << 40, SubbandCQI: mkCQI(true)},
 		{ID: 2, BacklogBits: 1 << 40, SubbandCQI: mkCQI(false)},
 	}
+	var scratch AllocScratch
 	goodPlacements, total := 0, 0
 	for sf := 0; sf < 200; sf++ {
-		alloc, _ := pf.Allocate(BW5MHz, allSubchannels(BW5MHz), ues)
-		for sc, id := range alloc {
+		pf.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), ues)
+		for sc, id := range allocMap(&scratch, ues) {
 			total++
 			if (sc < 7 && id == 1) || (sc >= 7 && id == 2) {
 				goodPlacements++
@@ -139,10 +169,11 @@ func TestProportionalFairLongRunFairness(t *testing.T) {
 		{ID: 2, BacklogBits: 1 << 50, SubbandCQI: uniformCQI(BW5MHz, 10)},
 		{ID: 3, BacklogBits: 1 << 50, SubbandCQI: uniformCQI(BW5MHz, 10)},
 	}
+	var scratch AllocScratch
 	served := map[int]int64{}
 	for sf := 0; sf < 3000; sf++ {
-		_, s := pf.Allocate(BW5MHz, allSubchannels(BW5MHz), ues)
-		for id, b := range s {
+		pf.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), ues)
+		for id, b := range servedMap(&scratch, ues) {
 			served[id] += b
 		}
 	}
@@ -184,9 +215,10 @@ func TestQuickSchedulerConservation(t *testing.T) {
 			for _, u := range ues {
 				want += u.BacklogBits
 			}
-			alloc, served := sched.Allocate(BW5MHz, allSubchannels(BW5MHz), ues)
+			var scratch AllocScratch
+			sched.Allocate(&scratch, BW5MHz, allSubchannels(BW5MHz), ues)
 			var got, left int64
-			for _, b := range served {
+			for _, b := range scratch.Served {
 				if b < 0 {
 					return false
 				}
@@ -205,10 +237,10 @@ func TestQuickSchedulerConservation(t *testing.T) {
 			// exceed the top-CQI transport blocks of exactly the
 			// subchannels allocated to it.
 			bound := map[int]int64{}
-			for sc, id := range alloc {
+			for sc, id := range allocMap(&scratch, ues) {
 				bound[id] += int64(TransportBlockBits(15, BW5MHz.SubchannelRBs(sc)))
 			}
-			for id, bits := range served {
+			for id, bits := range servedMap(&scratch, ues) {
 				if bits > bound[id] {
 					return false
 				}
@@ -221,6 +253,64 @@ func TestQuickSchedulerConservation(t *testing.T) {
 	}
 }
 
+// The steady-state scheduling path must be allocation-free: the
+// scratch grows on the first call and is pure reuse afterwards.
+func TestSchedulerAllocateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sched Scheduler
+	}{
+		{"RoundRobin", &RoundRobin{}},
+		{"ProportionalFair", &ProportionalFair{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ues := make([]*SchedUE, 8)
+			for i := range ues {
+				ues[i] = &SchedUE{ID: i, SubbandCQI: uniformCQI(BW5MHz, 1+(i*3)%15)}
+			}
+			allowed := allSubchannels(BW5MHz)
+			var scratch AllocScratch
+			run := func() {
+				for _, u := range ues {
+					u.BacklogBits = 1 << 30
+				}
+				tc.sched.Allocate(&scratch, BW5MHz, allowed, ues)
+			}
+			run() // warm up: grow the scratch once
+			if avg := testing.AllocsPerRun(200, run); avg != 0 {
+				t.Fatalf("%s.Allocate allocates %.1f times per subframe in steady state", tc.name, avg)
+			}
+		})
+	}
+}
+
+// AppendGrants shares the scratch's working buffers, so the grant path
+// is allocation-free too once dst has grown.
+func TestAppendGrantsZeroAllocs(t *testing.T) {
+	ues := make([]*SchedUE, 8)
+	for i := range ues {
+		ues[i] = &SchedUE{ID: i, SubbandCQI: uniformCQI(BW5MHz, 1+(i*3)%15)}
+	}
+	allowed := allSubchannels(BW5MHz)
+	pf := &ProportionalFair{}
+	var scratch AllocScratch
+	var dcis []DCI
+	run := func() {
+		for _, u := range ues {
+			u.BacklogBits = 1 << 30
+		}
+		pf.Allocate(&scratch, BW5MHz, allowed, ues)
+		dcis = AppendGrants(dcis[:0], BW5MHz, &scratch, ues)
+	}
+	run()
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Fatalf("Allocate+AppendGrants allocates %.1f times per subframe", avg)
+	}
+	if len(dcis) == 0 {
+		t.Fatal("no grants produced for backlogged clients")
+	}
+}
+
 func BenchmarkProportionalFairSubframe(b *testing.B) {
 	pf := &ProportionalFair{}
 	ues := make([]*SchedUE, 6)
@@ -228,8 +318,10 @@ func BenchmarkProportionalFairSubframe(b *testing.B) {
 		ues[i] = &SchedUE{ID: i, BacklogBits: 1 << 40, SubbandCQI: uniformCQI(BW5MHz, 1+i*2)}
 	}
 	allowed := allSubchannels(BW5MHz)
+	var scratch AllocScratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = pf.Allocate(BW5MHz, allowed, ues)
+		pf.Allocate(&scratch, BW5MHz, allowed, ues)
 	}
 }

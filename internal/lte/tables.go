@@ -1,0 +1,71 @@
+package lte
+
+import "cellfi/internal/phy"
+
+// Precomputed MAC-layer rate tables. The scheduler's inner loop asks
+// "how many bits does one transport block carry at CQI c on subchannel
+// k?" once per (UE, subchannel) pair every downlink TTI; doing the
+// CQI -> MCS -> efficiency -> TBS float chain per grant is measurable
+// GC-free but not free. The chain is a pure function of (cqi, rbs), so
+// it is evaluated once here, at init, into integer tables, and the hot
+// paths index instead of multiply. Table entries are produced by
+// exactly the same expression the direct math uses, so lookups are
+// bit-for-bit identical to the per-grant computation they replace.
+
+// tbsMaxRBs covers every carrier the PHY supports (100 RBs at 20 MHz).
+const tbsMaxRBs = 100
+
+// tbsByRB[cqi][rbs] = transportBlockBitsMath(cqi, rbs) for cqi 0..15,
+// rbs 0..100. Row 0 and column 0 stay zero (CQI 0 carries nothing).
+var tbsByRB [phy.LTECQICount + 1][tbsMaxRBs + 1]int32
+
+// scTBS[b][cqi][sc] = TransportBlockBits(cqi, b.SubchannelRBs(sc)):
+// the full SINR-report -> CQI -> MCS -> TBS chain resolved per
+// (bandwidth, subchannel), indexed by bwIndex.
+var scTBS [4][phy.LTECQICount + 1][]int32
+
+// bandwidths enumerates the supported carriers in bwIndex order.
+var bandwidths = [4]Bandwidth{BW5MHz, BW10MHz, BW15MHz, BW20MHz}
+
+func init() {
+	for cqi := 1; cqi <= phy.LTECQICount; cqi++ {
+		for rbs := 1; rbs <= tbsMaxRBs; rbs++ {
+			tbsByRB[cqi][rbs] = int32(transportBlockBitsMath(cqi, rbs))
+		}
+	}
+	for bi, b := range bandwidths {
+		n := b.Subchannels()
+		for cqi := 0; cqi <= phy.LTECQICount; cqi++ {
+			row := make([]int32, n)
+			for sc := 0; sc < n; sc++ {
+				row[sc] = tbsByRB[cqi][b.SubchannelRBs(sc)]
+			}
+			scTBS[bi][cqi] = row
+		}
+	}
+}
+
+// bwIndex maps a Bandwidth to its dense table index.
+func (b Bandwidth) bwIndex() int {
+	switch b {
+	case BW5MHz:
+		return 0
+	case BW10MHz:
+		return 1
+	case BW15MHz:
+		return 2
+	case BW20MHz:
+		return 3
+	}
+	panic("lte: invalid bandwidth")
+}
+
+// transportBlockBitsMath is the direct computation behind the tables,
+// kept for table construction and the tables-vs-math microbenchmark.
+func transportBlockBitsMath(cqi, rbs int) int {
+	if cqi <= 0 || rbs <= 0 {
+		return 0
+	}
+	eff := phy.LTECQI(cqi).Efficiency
+	return int(eff * float64(rbs) * DataREPerRBPerSubframe)
+}

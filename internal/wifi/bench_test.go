@@ -11,8 +11,8 @@ import (
 // benchNetwork builds a two-BSS contention domain with backlogged
 // queues — enough cross-coupling that carrier sensing, NAV and backoff
 // all stay busy — and returns the engine driving it.
-func benchNetwork(b *testing.B, params Params) (*sim.Engine, *Network) {
-	b.Helper()
+func benchNetwork(tb testing.TB, params Params) (*sim.Engine, *Network) {
+	tb.Helper()
 	eng := sim.NewEngine(1)
 	n := NewNetwork(eng, quietModel(1), params)
 	for i := 0; i < 2; i++ {
@@ -51,5 +51,24 @@ func BenchmarkCSMASlotLoop11ac(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		horizon += time.Millisecond
 		eng.Run(horizon)
+	}
+}
+
+// The CSMA slot step — carrier-sense scans, backoff, pooled frame
+// records and the pre-bound exchange handlers — must be allocation-free
+// once the transmission pool and overlap slices are warm.
+func TestCSMASlotStepZeroAllocs(t *testing.T) {
+	eng, _ := benchNetwork(t, Params11af())
+	horizon := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		horizon += time.Millisecond
+		eng.Run(horizon)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		horizon += time.Millisecond
+		eng.Run(horizon)
+	})
+	if avg != 0 {
+		t.Fatalf("CSMA slot loop allocates %.2f times per ms in steady state", avg)
 	}
 }

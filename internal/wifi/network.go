@@ -30,6 +30,12 @@ func frameCode(kind string) int64 {
 // clients sharing a channel under CSMA/CA. All nodes hear each other
 // through the propagation model; carrier sensing, NAV, collisions,
 // hidden and exposed terminals all follow from received powers.
+//
+// The per-slot and per-frame paths are allocation-free in steady
+// state: transmissions come from a pool with their end-of-frame
+// handler bound once, overlap tracking uses reusable slices instead of
+// per-frame maps, exchange continuations are functions bound per AP at
+// registration, and queue accounting lives in per-client fields.
 type Network struct {
 	Params Params
 	eng    *sim.Engine
@@ -44,6 +50,20 @@ type Network struct {
 	nodes  []*Node
 	aps    []*Node
 	active []*transmission
+	// txPool recycles transmission records. A record is pushed back
+	// when its frame leaves the air; the decode continuation that
+	// fires at the same instant may still read it — nothing can take
+	// it from the pool before that continuation runs, because no other
+	// event can be interleaved between the two (they are scheduled
+	// back to back at the same timestamp).
+	txPool []*transmission
+
+	// noise floor memo, guarded by the parameters it was built from.
+	noiseSet   bool
+	noiseWidth float64
+	noiseNF    float64
+	noiseDBmC  float64
+	noiseMWC   float64
 
 	// Drops counts aggregates abandoned after the retry limit.
 	Drops int
@@ -113,10 +133,13 @@ type Node struct {
 	idx  int
 	isAP bool
 	// AP-side state.
-	clients   []*Node
-	queue     map[int]int64 // client ID -> backlogged bits
-	nextCli   int
-	delivered map[int]int64 // client ID -> delivered bits
+	clients []*Node
+	nextCli int
+	// Station-side queue accounting, owned by the serving AP: the
+	// AP's backlog toward this client and the bits delivered to it.
+	// Plain fields replace the AP's former per-ID maps so the MAC hot
+	// path never hashes.
+	qBits, dBits int64
 
 	// Contention state.
 	contending bool
@@ -127,17 +150,44 @@ type Node struct {
 	navUntil   sim.Time
 	slotEv     sim.Event
 	deferEv    sim.Event
+
+	// Pre-bound event handlers (allocated once at registration so the
+	// per-slot and per-exchange paths never allocate closures).
+	rescheduleFn func()
+	slotTickFn   func()
+	afterRTSFn   func()
+	sendCTSFn    func()
+	afterCTSFn   func()
+	sendDataFn   func()
+	afterDataFn  func()
+	sendAckFn    func()
+	afterAckFn   func()
+
+	// In-flight exchange state (one TXOP at a time per AP).
+	exClient  *Node
+	exMCS     phy.MCS
+	exPayload int // bytes
+	exDataDur time.Duration
+	exEnd     sim.Time
+	exTX      *transmission
 }
 
 // AddAP registers an access point.
 func (n *Network) AddAP(id int, pos geo.Point, txPowerDBm float64) *Node {
 	ap := &Node{
 		ID: id, Pos: pos, TxPowerDBm: txPowerDBm, net: n, isAP: true,
-		idx:       len(n.nodes),
-		queue:     make(map[int]int64),
-		delivered: make(map[int]int64),
-		cw:        n.Params.CWMin,
+		idx: len(n.nodes),
+		cw:  n.Params.CWMin,
 	}
+	ap.rescheduleFn = ap.reschedule
+	ap.slotTickFn = ap.slotTick
+	ap.afterRTSFn = ap.afterRTS
+	ap.sendCTSFn = ap.sendCTS
+	ap.afterCTSFn = ap.afterCTS
+	ap.sendDataFn = ap.sendData
+	ap.afterDataFn = ap.afterData
+	ap.sendAckFn = ap.sendAck
+	ap.afterAckFn = ap.afterAck
 	n.nodes = append(n.nodes, ap)
 	n.aps = append(n.aps, ap)
 	return ap
@@ -162,15 +212,15 @@ func (ap *Node) Enqueue(client *Node, bits int64) {
 	if !ap.isAP {
 		panic("wifi: Enqueue on non-AP node")
 	}
-	ap.queue[client.ID] += bits
+	client.qBits += bits
 	ap.tryStart()
 }
 
 // QueuedBits returns an AP's backlog toward one client.
-func (ap *Node) QueuedBits(client *Node) int64 { return ap.queue[client.ID] }
+func (ap *Node) QueuedBits(client *Node) int64 { return client.qBits }
 
 // DeliveredBits returns the bits successfully delivered to a client.
-func (ap *Node) DeliveredBits(client *Node) int64 { return ap.delivered[client.ID] }
+func (ap *Node) DeliveredBits(client *Node) int64 { return client.dBits }
 
 // rxPowerDBm is the power node rx sees from node tx, through the
 // link-gain cache (wifi topologies are static for a run).
@@ -186,15 +236,75 @@ func (n *Network) LinkCacheStats() propagation.CacheStats {
 // transmission is one frame in the air. interferers accumulates every
 // node whose transmission overlapped this frame at any point, so the
 // decode check at frame end cannot miss a short mid-frame collision.
+// Records are pooled; endFn is the end-of-frame handler, bound once
+// when the record is first created.
 type transmission struct {
+	net         *Network
 	from        *Node
 	start, end  sim.Time
 	kind        string // "rts", "cts", "data", "ack"
-	interferers map[*Node]bool
+	interferers []*Node
+	endFn       func()
+}
+
+// addInterferer records an overlapping transmitter exactly once (the
+// slice replaces a per-frame map; insertion order makes the decode
+// check's interference sum deterministic, which the old map iteration
+// was not).
+func (t *transmission) addInterferer(node *Node) {
+	for _, x := range t.interferers {
+		if x == node {
+			return
+		}
+	}
+	t.interferers = append(t.interferers, node)
+}
+
+// finish takes the frame off the air. The record goes straight back to
+// the pool — see the txPool comment for why the same-instant decode
+// continuation can still read it safely.
+func (t *transmission) finish() {
+	n := t.net
+	for i, a := range n.active {
+		if a == t {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	n.txPool = append(n.txPool, t)
+	n.notifyMediumChange()
+}
+
+// takeTX pops a pooled transmission record (or makes one), resetting
+// its per-frame state.
+func (n *Network) takeTX() *transmission {
+	if len(n.txPool) > 0 {
+		t := n.txPool[len(n.txPool)-1]
+		n.txPool = n.txPool[:len(n.txPool)-1]
+		t.interferers = t.interferers[:0]
+		return t
+	}
+	t := &transmission{net: n}
+	t.endFn = t.finish
+	return t
+}
+
+// noise returns the channel noise floor in dBm and mW, recomputed only
+// when the channel width or noise figure changes.
+func (n *Network) noise() (float64, float64) {
+	if !n.noiseSet || n.noiseWidth != n.Params.ChannelWidthHz || n.noiseNF != n.Params.NoiseFigureDB {
+		n.noiseWidth = n.Params.ChannelWidthHz
+		n.noiseNF = n.Params.NoiseFigureDB
+		n.noiseDBmC = propagation.NoiseDBm(n.Params.ChannelWidthHz, n.Params.NoiseFigureDB)
+		n.noiseMWC = propagation.DBmToMW(n.noiseDBmC)
+		n.noiseSet = true
+	}
+	return n.noiseDBmC, n.noiseMWC
 }
 
 func (n *Network) noiseDBm() float64 {
-	return propagation.NoiseDBm(n.Params.ChannelWidthHz, n.Params.NoiseFigureDB)
+	dbm, _ := n.noise()
+	return dbm
 }
 
 // busyAt reports whether node sees the medium busy: an unexpired NAV,
@@ -221,11 +331,12 @@ func (n *Network) busyAt(node *Node) bool {
 
 // sinrOf returns the SINR of transmission t at receiver rx, counting
 // every transmission that overlapped t (fully, as CSMA collisions
-// typically do) as interference.
+// typically do) as interference. Interferers are summed in insertion
+// order — deterministic by construction.
 func (n *Network) sinrOf(t *transmission, rx *Node) float64 {
 	signal := n.rxPowerDBm(t.from, rx)
-	den := propagation.DBmToMW(n.noiseDBm())
-	for from := range t.interferers {
+	_, den := n.noise()
+	for _, from := range t.interferers {
 		if from == rx {
 			continue
 		}
@@ -238,10 +349,8 @@ func (n *Network) sinrOf(t *transmission, rx *Node) float64 {
 // sense state may have changed), and schedules its end. Overlap with
 // every concurrently active frame is recorded symmetrically.
 func (n *Network) beginTX(from *Node, d time.Duration, kind string) *transmission {
-	t := &transmission{
-		from: from, start: n.eng.Now(), end: n.eng.Now() + d, kind: kind,
-		interferers: make(map[*Node]bool),
-	}
+	t := n.takeTX()
+	t.from, t.start, t.end, t.kind = from, n.eng.Now(), n.eng.Now()+d, kind
 	if kind == "data" {
 		// The payload portion counts as data; the preamble as control.
 		n.stats.DataAirtime += d - n.Params.PreambleDur
@@ -250,8 +359,8 @@ func (n *Network) beginTX(from *Node, d time.Duration, kind string) *transmissio
 		n.stats.ControlAirtime += d
 	}
 	for _, a := range n.active {
-		t.interferers[a.from] = true
-		a.interferers[from] = true
+		t.addInterferer(a.from)
+		a.addInterferer(from)
 	}
 	if rec := n.eng.Recorder(); rec != nil {
 		rec.Record(trace.Record{T: int64(n.eng.Now()), AP: int32(from.ID), Kind: trace.KindWifiTX,
@@ -259,15 +368,7 @@ func (n *Network) beginTX(from *Node, d time.Duration, kind string) *transmissio
 	}
 	n.active = append(n.active, t)
 	n.notifyMediumChange()
-	n.eng.After(d, func() {
-		for i, a := range n.active {
-			if a == t {
-				n.active = append(n.active[:i], n.active[i+1:]...)
-				break
-			}
-		}
-		n.notifyMediumChange()
-	})
+	n.eng.After(d, t.endFn)
 	return t
 }
 
@@ -299,7 +400,7 @@ func (n *Network) setNAVFromExchange(initiator, responder *Node, until sim.Time)
 // touching the round-robin cursor.
 func (ap *Node) hasData() bool {
 	for _, c := range ap.clients {
-		if ap.queue[c.ID] > 0 {
+		if c.qBits > 0 {
 			return true
 		}
 	}
@@ -338,12 +439,12 @@ func (ap *Node) reschedule() {
 	if n.busyAt(ap) {
 		// Wait for the next medium change (or NAV expiry).
 		if wait := ap.navUntil - n.eng.Now(); wait > 0 {
-			ap.deferEv = n.eng.After(wait, ap.reschedule)
+			ap.deferEv = n.eng.After(wait, ap.rescheduleFn)
 		}
 		return
 	}
 	// Idle: wait DIFS then count down slots.
-	ap.deferEv = n.eng.After(n.Params.DIFS, ap.slotTick)
+	ap.deferEv = n.eng.After(n.Params.DIFS, ap.slotTickFn)
 }
 
 // slotTick consumes one backoff slot while the medium stays idle.
@@ -355,7 +456,7 @@ func (ap *Node) slotTick() {
 	}
 	if ap.backoff > 0 {
 		ap.backoff--
-		ap.slotEv = n.eng.After(n.Params.SlotTime, ap.slotTick)
+		ap.slotEv = n.eng.After(n.Params.SlotTime, ap.slotTickFn)
 		return
 	}
 	ap.startExchange()
@@ -368,7 +469,7 @@ func (ap *Node) pickClient() (*Node, bool) {
 	}
 	for i := 0; i < len(ap.clients); i++ {
 		c := ap.clients[(ap.nextCli+i)%len(ap.clients)]
-		if ap.queue[c.ID] > 0 {
+		if c.qBits > 0 {
 			ap.nextCli = (ap.nextCli + i + 1) % len(ap.clients)
 			return c, true
 		}
@@ -377,7 +478,10 @@ func (ap *Node) pickClient() (*Node, bool) {
 }
 
 // startExchange runs one TXOP: optional RTS/CTS, then an aggregated
-// data frame and its block-ack.
+// data frame and its block-ack. The exchange's parameters live on the
+// AP and its stages are the pre-bound handlers below, so a TXOP
+// schedules the exact event sequence the closure-based implementation
+// did without allocating.
 func (ap *Node) startExchange() {
 	n := ap.net
 	client, ok := ap.pickClient()
@@ -401,66 +505,97 @@ func (ap *Node) startExchange() {
 
 	budget := n.Params.MaxTXDuration
 	payloadBytes := n.Params.MaxPayloadForDuration(budget, mcs)
-	if q := ap.queue[client.ID] / 8; int64(payloadBytes) > q {
+	if q := client.qBits / 8; int64(payloadBytes) > q {
 		payloadBytes = int(q)
 	}
-	dataDur := n.Params.FrameDuration(payloadBytes, mcs)
-
-	finishData := func() {
-		dataTX := n.beginTX(ap, dataDur, "data")
-		n.eng.After(dataDur, func() {
-			if n.sinrOf(dataTX, client) >= mcs.MinSINRdB {
-				// Block-ack after SIFS at basic rate.
-				ackDur := n.Params.ControlDuration(ackBytes)
-				n.eng.After(n.Params.SIFS, func() {
-					n.beginTX(client, ackDur, "ack")
-					n.eng.After(ackDur, func() {
-						ap.success(client, int64(payloadBytes)*8)
-					})
-				})
-			} else {
-				ap.inTX = false
-				ap.failure()
-			}
-		})
-	}
+	ap.exClient = client
+	ap.exMCS = mcs
+	ap.exPayload = payloadBytes
+	ap.exDataDur = n.Params.FrameDuration(payloadBytes, mcs)
 
 	if !n.Params.RTSCTS {
-		finishData()
+		ap.sendData()
 		return
 	}
 
 	rtsDur := n.Params.ControlDuration(rtsBytes)
 	ctsDur := n.Params.ControlDuration(ctsBytes)
-	exchangeEnd := n.eng.Now() + rtsDur + n.Params.SIFS + ctsDur +
-		n.Params.SIFS + dataDur + n.Params.SIFS + n.Params.ControlDuration(ackBytes)
+	ap.exEnd = n.eng.Now() + rtsDur + n.Params.SIFS + ctsDur +
+		n.Params.SIFS + ap.exDataDur + n.Params.SIFS + n.Params.ControlDuration(ackBytes)
 
-	rtsTX := n.beginTX(ap, rtsDur, "rts")
-	n.eng.After(rtsDur, func() {
-		if n.sinrOf(rtsTX, client) >= phy.WiFiMCS(0).MinSINRdB {
-			n.setNAVFromExchange(ap, client, exchangeEnd)
-			n.eng.After(n.Params.SIFS, func() {
-				n.beginTX(client, ctsDur, "cts")
-				n.eng.After(ctsDur, func() {
-					n.setNAVFromExchange(ap, client, exchangeEnd)
-					n.eng.After(n.Params.SIFS, finishData)
-				})
-			})
-		} else {
-			// RTS collided or client out of range: back off.
-			ap.inTX = false
-			ap.failure()
-		}
-	})
+	ap.exTX = n.beginTX(ap, rtsDur, "rts")
+	n.eng.After(rtsDur, ap.afterRTSFn)
+}
+
+// afterRTS checks the RTS decode at the client and either reserves the
+// medium for the exchange or backs off.
+func (ap *Node) afterRTS() {
+	n := ap.net
+	if n.sinrOf(ap.exTX, ap.exClient) >= phy.WiFiMCS(0).MinSINRdB {
+		n.setNAVFromExchange(ap, ap.exClient, ap.exEnd)
+		n.eng.After(n.Params.SIFS, ap.sendCTSFn)
+	} else {
+		// RTS collided or client out of range: back off.
+		ap.inTX = false
+		ap.failure()
+	}
+}
+
+// sendCTS puts the client's CTS on the air.
+func (ap *Node) sendCTS() {
+	n := ap.net
+	ctsDur := n.Params.ControlDuration(ctsBytes)
+	ap.exTX = n.beginTX(ap.exClient, ctsDur, "cts")
+	n.eng.After(ctsDur, ap.afterCTSFn)
+}
+
+// afterCTS refreshes third-party NAVs and leads into the data frame.
+func (ap *Node) afterCTS() {
+	n := ap.net
+	n.setNAVFromExchange(ap, ap.exClient, ap.exEnd)
+	n.eng.After(n.Params.SIFS, ap.sendDataFn)
+}
+
+// sendData puts the aggregated data frame on the air.
+func (ap *Node) sendData() {
+	n := ap.net
+	ap.exTX = n.beginTX(ap, ap.exDataDur, "data")
+	n.eng.After(ap.exDataDur, ap.afterDataFn)
+}
+
+// afterData checks the data decode at the client and either solicits
+// the block-ack or backs off.
+func (ap *Node) afterData() {
+	n := ap.net
+	if n.sinrOf(ap.exTX, ap.exClient) >= ap.exMCS.MinSINRdB {
+		// Block-ack after SIFS at basic rate.
+		n.eng.After(n.Params.SIFS, ap.sendAckFn)
+	} else {
+		ap.inTX = false
+		ap.failure()
+	}
+}
+
+// sendAck puts the client's block-ack on the air.
+func (ap *Node) sendAck() {
+	n := ap.net
+	ackDur := n.Params.ControlDuration(ackBytes)
+	n.beginTX(ap.exClient, ackDur, "ack")
+	n.eng.After(ackDur, ap.afterAckFn)
+}
+
+// afterAck completes the TXOP.
+func (ap *Node) afterAck() {
+	ap.success(ap.exClient, int64(ap.exPayload)*8)
 }
 
 // success completes a TXOP: credit delivery, reset contention state.
 func (ap *Node) success(client *Node, bits int64) {
-	ap.queue[client.ID] -= bits
-	if ap.queue[client.ID] < 0 {
-		ap.queue[client.ID] = 0
+	client.qBits -= bits
+	if client.qBits < 0 {
+		client.qBits = 0
 	}
-	ap.delivered[client.ID] += bits
+	client.dBits += bits
 	ap.net.stats.TXOPs++
 	ap.net.stats.DeliveredBits += bits
 	ap.inTX = false

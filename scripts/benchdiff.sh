@@ -1,9 +1,11 @@
 #!/bin/sh
-# benchdiff.sh — guard against event-engine throughput regressions.
+# benchdiff.sh — guard against sim hot-path performance regressions.
 #
-# Re-measures the engine's Schedule+fire dispatch rate and compares it
-# against engine_events_per_sec in the committed BENCH_sim.json. Exits
-# non-zero if throughput drops by more than BENCH_TOLERANCE_PCT
+# Re-measures the engine's Schedule+fire dispatch rate plus the three
+# domain hot loops (csma_slot_loop_ms, lte_subframe,
+# lte_scheduler_allocate) and compares them against the committed
+# BENCH_sim.json. Exits non-zero if engine throughput drops, or any
+# domain loop's ns_per_op rises, by more than BENCH_TOLERANCE_PCT
 # (default 10%). Benchmarks are noisy on loaded machines, so this is an
 # opt-in verify stage (VERIFY_BENCH=1 ./scripts/verify.sh), not part of
 # the default gate.
@@ -19,7 +21,20 @@ if [ ! -f "$BASELINE_FILE" ]; then
 	exit 1
 fi
 
-baseline=$(sed -n 's/^  "engine_events_per_sec": \([0-9.e+]*\),*$/\1/p' "$BASELINE_FILE")
+# read_top FILE KEY — a top-level scalar field.
+read_top() {
+	sed -n 's/^  "'"$2"'": \([0-9.e+]*\),*$/\1/p' "$1"
+}
+
+# read_ns FILE KEY — ns_per_op inside a top-level benchmark object.
+read_ns() {
+	awk -v key="\"$2\":" '
+		$1 == key { inblock = 1 }
+		inblock && $1 == "\"ns_per_op\":" { sub(/,$/, "", $2); print $2; exit }
+	' "$1"
+}
+
+baseline=$(read_top "$BASELINE_FILE" engine_events_per_sec)
 if [ -z "$baseline" ]; then
 	echo "benchdiff: could not read engine_events_per_sec from $BASELINE_FILE" >&2
 	exit 1
@@ -28,24 +43,52 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== benchdiff: re-measuring engine dispatch rate"
+echo "== benchdiff: re-measuring engine dispatch + domain hot loops"
 SIM_BENCH_OUT="$tmp/bench.json" go test -run TestEngineBenchArtifact -count 1 . >/dev/null
 
-current=$(sed -n 's/^  "engine_events_per_sec": \([0-9.e+]*\),*$/\1/p' "$tmp/bench.json")
+current=$(read_top "$tmp/bench.json" engine_events_per_sec)
 if [ -z "$current" ]; then
 	echo "benchdiff: re-measurement produced no engine_events_per_sec" >&2
 	exit 1
 fi
 
+fail=0
+
 # Integer-percent comparison keeps this POSIX-sh portable: fail when
 # current * 100 < baseline * (100 - tolerance).
 awk -v cur="$current" -v base="$baseline" -v tol="$TOLERANCE_PCT" 'BEGIN {
 	ratio = cur / base * 100
-	printf "benchdiff: baseline %.2fM ev/s, current %.2fM ev/s (%.1f%%, floor %d%%)\n",
+	printf "benchdiff: engine baseline %.2fM ev/s, current %.2fM ev/s (%.1f%%, floor %d%%)\n",
 		base / 1e6, cur / 1e6, ratio, 100 - tol
 	if (ratio < 100 - tol) {
 		printf "benchdiff: FAIL — engine throughput regressed more than %d%%\n", tol
 		exit 1
 	}
-	print "benchdiff: OK"
-}'
+}' || fail=1
+
+# Domain hot loops compare ns_per_op (lower is better): fail when the
+# current cost exceeds the committed cost by more than the tolerance.
+for key in csma_slot_loop_ms lte_subframe lte_scheduler_allocate; do
+	base_ns=$(read_ns "$BASELINE_FILE" "$key")
+	cur_ns=$(read_ns "$tmp/bench.json" "$key")
+	if [ -z "$base_ns" ] || [ -z "$cur_ns" ]; then
+		echo "benchdiff: could not read $key ns_per_op (baseline '$base_ns', current '$cur_ns')" >&2
+		fail=1
+		continue
+	fi
+	awk -v cur="$cur_ns" -v base="$base_ns" -v tol="$TOLERANCE_PCT" -v key="$key" 'BEGIN {
+		ratio = cur / base * 100
+		printf "benchdiff: %s baseline %.0f ns/op, current %.0f ns/op (%.1f%%, ceiling %d%%)\n",
+			key, base, cur, ratio, 100 + tol
+		if (ratio > 100 + tol) {
+			printf "benchdiff: FAIL — %s regressed more than %d%%\n", key, tol
+			exit 1
+		}
+	}' || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "benchdiff: FAIL"
+	exit 1
+fi
+echo "benchdiff: OK"
