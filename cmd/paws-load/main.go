@@ -1,0 +1,82 @@
+// Command paws-load is the open-loop load generator for the PAWS
+// spectrum database. It synthesizes a seeded metro of incumbents and
+// simulated access points, drives AVAIL_SPECTRUM_REQ traffic through an
+// in-process paws.Server (lean mode) or full PAWS clients behind a
+// fault injector (-wire), and prints the measured throughput, latency
+// quantiles and database counters.
+//
+// Examples:
+//
+//	paws-load -clients 100000 -requests 500000
+//	paws-load -clients 100000 -requests 500000 -qps 60000 -outages 2s-4s
+//	paws-load -wire -clients 2000 -requests 20000 -profile heavy
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cellfi/internal/faults"
+	"cellfi/internal/pawsload"
+)
+
+func main() {
+	var (
+		clients    = flag.Int("clients", 100000, "distinct simulated access points")
+		requests   = flag.Int("requests", 500000, "total spectrum queries to issue")
+		qps        = flag.Float64("qps", 0, "open-loop target rate (0 = maximum speed)")
+		workers    = flag.Int("workers", 0, "driver goroutines (0 = 4x GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "seed for registry, placement and fault schedules")
+		incumbents = flag.Int("incumbents", 160, "incumbents in the synthetic metro registry")
+		regionKM   = flag.Float64("region-km", 30, "metro half-width in kilometres")
+		noCache    = flag.Bool("no-cache", false, "disable the response cache (measure the raw index path)")
+		wire       = flag.Bool("wire", false, "wire mode: full PAWS clients through the fault injector")
+		profile    = flag.String("profile", "", "fault profile for -wire (mild, heavy, outage)")
+		outages    = flag.String("outages", "", "server outage windows, e.g. \"2s-4s,10s-11s\"")
+		jsonOut    = flag.Bool("json", false, "emit the full result as JSON")
+	)
+	flag.Parse()
+
+	windows, err := faults.ParseWindows(*outages)
+	if err != nil {
+		log.Fatalf("paws-load: %v", err)
+	}
+	res, err := pawsload.Run(pawsload.Config{
+		Clients:      *clients,
+		Requests:     *requests,
+		TargetQPS:    *qps,
+		Workers:      *workers,
+		Seed:         *seed,
+		Incumbents:   *incumbents,
+		RegionM:      *regionKM * 1000,
+		DisableCache: *noCache,
+		Wire:         *wire,
+		FaultProfile: *profile,
+		Outages:      windows,
+	})
+	if err != nil {
+		log.Fatalf("paws-load: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("requests    %d over %d clients in %.2fs\n", res.Requests, res.Clients, res.Duration)
+	fmt.Printf("throughput  %.0f qps sustained (errors %d, late starts %d)\n", res.QPS, res.Errors, res.LateStarts)
+	fmt.Printf("latency     p50 %.1fus  p99 %.1fus  mean %.1fus\n",
+		float64(res.LatencyP50Ns)/1e3, float64(res.LatencyP99Ns)/1e3, res.LatencyMeanNs/1e3)
+	fmt.Printf("cache       hit rate %.1f%% (%d hits, %d boundary hits, %d misses, %d entries)\n",
+		100*res.DB.CacheHitRate, res.DB.CacheHits, res.DB.CacheNegHits, res.DB.CacheMisses, res.DB.CacheEntries)
+	fmt.Printf("leases      %d granted, %d renewed, %d expired, %d active\n",
+		res.DB.LeasesGranted, res.DB.LeasesRenewed, res.DB.LeasesExpired, res.DB.ActiveLeases)
+	fmt.Printf("db          %d incumbents, %d rebuilds, dispatch p99 %.1fus\n",
+		res.DB.Incumbents, res.DB.Rebuilds, float64(res.DB.LatencyP99Ns)/1e3)
+}

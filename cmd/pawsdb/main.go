@@ -5,6 +5,7 @@
 //
 //	pawsdb [-addr :8080] [-domain EU|US] [-block ch[,ch...]] [-mic ch:minutes]
 //	       [-flaky from-to[,from-to...]] [-flaky-status 503]
+//	       [-shutdown-timeout 10s]
 //
 // -block registers permanent TV-station incumbents on the listed
 // channels; -mic registers a wireless-microphone event on a channel
@@ -16,15 +17,24 @@
 // instead of an answer. Together with cellfi-ap's -chaos-* flags this
 // lets a live AP be soak-tested against database outages and proves
 // the ETSI vacate budget holds end to end.
+//
+// Endpoints: /paws (JSON-RPC), /healthz (liveness plus incumbent and
+// active-lease gauges), /metrics (the full pawsdb counter snapshot).
+// SIGINT/SIGTERM drain in-flight requests for up to -shutdown-timeout
+// before the process exits.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"cellfi/internal/faults"
@@ -44,6 +54,7 @@ func main() {
 	block := flag.String("block", "", "comma-separated channels with permanent TV incumbents")
 	flaky := flag.String("flaky", "", "scripted outage windows as from-to offsets (e.g. 30s-90s,5m-6m)")
 	flakyStatus := flag.Int("flaky-status", http.StatusServiceUnavailable, "HTTP status served during outage windows")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain budget for in-flight requests on SIGINT/SIGTERM")
 	var mics micFlags
 	flag.Var(&mics, "mic", "wireless-mic event as ch:minutes (repeatable)")
 	flag.Parse()
@@ -91,6 +102,7 @@ func main() {
 	}
 
 	srv := paws.NewServer(reg)
+	db := srv.DB()
 	var endpoint http.Handler = srv
 	if *flaky != "" {
 		windows, err := faults.ParseWindows(*flaky)
@@ -108,8 +120,46 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/paws", endpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		now := time.Now()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":        "ok",
+			"incumbents":    reg.IncumbentCount(),
+			"active_leases": db.Leases().Active(now),
+		})
 	})
-	log.Printf("PAWS %s database listening on %s (endpoint /paws)", dom, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(db.Snapshot(time.Now()))
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("PAWS %s database listening on %s (endpoints /paws /healthz /metrics)", dom, *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("pawsdb: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the drain immediately
+
+	log.Printf("shutting down: draining in-flight requests (budget %v)", *shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("pawsdb: drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pawsdb: %v", err)
+	}
+	m := db.Snapshot(time.Now())
+	log.Printf("served %d queries (%d notify) — cache hit rate %.1f%%, %d leases granted",
+		m.Queries, m.NotifyOK+m.NotifyRejected, 100*m.CacheHitRate, m.LeasesGranted)
 }

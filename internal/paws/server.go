@@ -1,41 +1,75 @@
 package paws
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cellfi/internal/pawsdb"
 	"cellfi/internal/spectrum"
 )
 
-// Server is a PAWS white-space database server. It wraps a
-// spectrum.Registry and serves the RFC 7545 JSON-RPC methods over HTTP.
-// It implements http.Handler.
+// DefaultUseLogCapacity bounds the spectrum-use notification log. The
+// seed's unbounded slice grew forever under load; the log is now a
+// ring that keeps the most recent notifications and counts what it
+// dropped.
+const DefaultUseLogCapacity = 4096
+
+// Server is a PAWS white-space database server. It serves the RFC 7545
+// JSON-RPC methods over HTTP on top of a pawsdb.DB (geospatial index,
+// response cache, lease store, metrics); the request path is lock-free
+// except for the registration map and the use-notification ring, so
+// concurrent queries scale with cores instead of serializing on one
+// mutex. It implements http.Handler.
 type Server struct {
-	mu       sync.Mutex
-	registry *spectrum.Registry
-	ruleset  RulesetInfo
+	db      *pawsdb.DB
+	ruleset RulesetInfo
+	// rulesetJSON is the ruleset premarshaled once at construction;
+	// the getSpectrum fast path splices it into hand-assembled
+	// responses instead of re-encoding it per request.
+	rulesetJSON []byte
 	// Now supplies the database's notion of time; simulations override
-	// it to drive virtual time. Defaults to time.Now.
+	// it to drive virtual time. Defaults to time.Now. Set before
+	// serving traffic.
 	Now func() time.Time
-	// registered remembers fixed-device registrations by serial.
-	registered map[string]RegisterReq
-	// useLog records spectrum-use notifications for inspection.
-	useLog []NotifyUseReq
 	// RequireRegistration rejects getSpectrum from unregistered FIXED
-	// devices (FCC behaviour); off by default for ETSI mode.
+	// devices (FCC behaviour); off by default for ETSI mode. Set
+	// before serving traffic.
 	RequireRegistration bool
+
+	// registered remembers fixed-device registrations by serial.
+	regMu      sync.RWMutex
+	registered map[string]RegisterReq
+
+	// useLog is a bounded ring of spectrum-use notifications:
+	// useLog[useHead] is the oldest of useCount entries.
+	useMu      sync.Mutex
+	useLog     []NotifyUseReq
+	useHead    int
+	useCount   int
+	useCap     int
+	useDropped atomic.Int64
 }
 
 // NewServer returns a PAWS server over the given incumbent registry,
 // announcing an ETSI EN 301 598 ruleset (the one the paper's Nominet
-// database implements).
+// database implements). The registry is wrapped in a pawsdb.DB with
+// default options; use NewServerWith to configure the database layer.
 func NewServer(reg *spectrum.Registry) *Server {
-	return &Server{
-		registry: reg,
+	return NewServerWith(pawsdb.New(reg, pawsdb.Options{}))
+}
+
+// NewServerWith returns a PAWS server over an explicitly configured
+// spectrum-database core.
+func NewServerWith(db *pawsdb.DB) *Server {
+	s := &Server{
+		db: db,
 		ruleset: RulesetInfo{
 			Authority:          "gb",
 			RulesetID:          "ETSI-EN-301-598-2014",
@@ -44,26 +78,95 @@ func NewServer(reg *spectrum.Registry) *Server {
 		},
 		Now:        time.Now,
 		registered: make(map[string]RegisterReq),
+		useCap:     DefaultUseLogCapacity,
 	}
+	s.rulesetJSON, _ = json.Marshal(s.ruleset)
+	return s
 }
 
 // Registry exposes the backing registry. Callers that mutate it while
 // the server is live should do so under Lock/Unlock.
-func (s *Server) Registry() *spectrum.Registry { return s.registry }
+func (s *Server) Registry() *spectrum.Registry { return s.db.Registry() }
+
+// DB exposes the spectrum-database core (index, cache, leases,
+// metrics).
+func (s *Server) DB() *pawsdb.DB { return s.db }
 
 // Lock and Unlock guard external registry mutation (e.g. an experiment
-// revoking a channel mid-run).
-func (s *Server) Lock()   { s.mu.Lock() }
-func (s *Server) Unlock() { s.mu.Unlock() }
+// revoking a channel mid-run). Queries keep serving the pre-mutation
+// snapshot until the mutation lands.
+func (s *Server) Lock()   { s.db.Lock() }
+func (s *Server) Unlock() { s.db.Unlock() }
 
-// UseNotifications returns a copy of the spectrum-use reports received.
+// SetUseLogCapacity resizes the spectrum-use ring, keeping the newest
+// entries. Capacity 0 disables retention entirely (every notification
+// counts as dropped).
+func (s *Server) SetUseLogCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.useMu.Lock()
+	defer s.useMu.Unlock()
+	cur := s.useSnapshotLocked()
+	if len(cur) > n {
+		s.useDropped.Add(int64(len(cur) - n))
+		cur = cur[len(cur)-n:]
+	}
+	s.useCap = n
+	s.useLog = cur
+	s.useHead = 0
+	s.useCount = len(cur)
+}
+
+// UseNotifications returns a copy of the retained spectrum-use
+// reports, oldest first.
 func (s *Server) UseNotifications() []NotifyUseReq {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]NotifyUseReq, len(s.useLog))
-	copy(out, s.useLog)
+	s.useMu.Lock()
+	defer s.useMu.Unlock()
+	return s.useSnapshotLocked()
+}
+
+// UseNotificationsDropped reports how many notifications the ring has
+// discarded since the server started.
+func (s *Server) UseNotificationsDropped() int64 { return s.useDropped.Load() }
+
+func (s *Server) useSnapshotLocked() []NotifyUseReq {
+	out := make([]NotifyUseReq, 0, s.useCount)
+	for i := 0; i < s.useCount; i++ {
+		out = append(out, s.useLog[(s.useHead+i)%len(s.useLog)])
+	}
 	return out
 }
+
+func (s *Server) recordUse(p NotifyUseReq) {
+	s.useMu.Lock()
+	defer s.useMu.Unlock()
+	if s.useCap == 0 {
+		s.useDropped.Add(1)
+		return
+	}
+	if s.useCount < s.useCap {
+		s.useLog = append(s.useLog, p)
+		s.useCount++
+		return
+	}
+	// Full: overwrite the oldest.
+	s.useLog[s.useHead] = p
+	s.useHead = (s.useHead + 1) % len(s.useLog)
+	s.useDropped.Add(1)
+}
+
+// bufPool recycles the scratch buffers of the request hot path: the
+// request-body read, the hand-assembled getSpectrum result, and the
+// response envelope. At 50k+ queries/sec the per-request garbage these
+// would otherwise generate dominates the profile.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// rawResult wraps a pooled, fully marshaled JSON result. Handlers on
+// the hot path return it to tell ServeHTTP the encoding is already
+// done; the buffer goes back to the pool after the envelope is
+// written.
+type rawResult struct{ buf *bytes.Buffer }
 
 // ServeHTTP handles one JSON-RPC request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -71,41 +174,73 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "paws: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
+	start := time.Now()
+	met := s.db.Metrics()
+	bb := bufPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bufPool.Put(bb)
+	if _, err := bb.ReadFrom(io.LimitReader(r.Body, 1<<20)); err != nil {
 		http.Error(w, "paws: read error", http.StatusBadRequest)
+		met.Errors.Add(1)
 		return
 	}
 	var req rpcRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := json.Unmarshal(bb.Bytes(), &req); err != nil {
 		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &RPCError{ErrCodeInvalidValue, "malformed JSON-RPC"}, ID: 0})
+		met.Errors.Add(1)
 		return
 	}
 	if req.JSONRPC != "2.0" {
 		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &RPCError{ErrCodeVersion, "jsonrpc must be 2.0"}, ID: req.ID})
+		met.Errors.Add(1)
 		return
 	}
 
-	s.mu.Lock()
 	result, rpcErr := s.dispatch(req.Method, req.Params)
-	s.mu.Unlock()
 
 	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
-	if rpcErr != nil {
+	var recycle *bytes.Buffer
+	switch {
+	case rpcErr != nil:
 		resp.Error = rpcErr
-	} else {
-		raw, err := json.Marshal(result)
-		if err != nil {
+		met.Errors.Add(1)
+	default:
+		if rr, ok := result.(rawResult); ok {
+			resp.Result = rr.buf.Bytes()
+			recycle = rr.buf
+		} else if raw, err := json.Marshal(result); err != nil {
 			resp.Error = &RPCError{ErrCodeInvalidValue, "encode failure"}
 		} else {
 			resp.Result = raw
 		}
 	}
 	writeRPC(w, resp)
+	if recycle != nil {
+		bufPool.Put(recycle)
+	}
+	met.Latency.Observe(time.Since(start))
 }
 
+// writeRPC writes the JSON-RPC envelope. Success envelopes are
+// assembled by hand from parts that are already compact JSON — the
+// bytes are identical to json.Encoder output (which would re-validate
+// and re-compact the embedded result on every response), without the
+// second pass over the body. Error envelopes take the encoder path so
+// message escaping stays exactly the stdlib's.
 func writeRPC(w http.ResponseWriter, resp rpcResponse) {
 	w.Header().Set("Content-Type", "application/json")
+	if resp.Error == nil && resp.Result != nil && resp.JSONRPC == "2.0" {
+		eb := bufPool.Get().(*bytes.Buffer)
+		eb.Reset()
+		eb.WriteString(`{"jsonrpc":"2.0","result":`)
+		eb.Write(resp.Result)
+		eb.WriteString(`,"id":`)
+		eb.Write(strconv.AppendInt(eb.AvailableBuffer(), resp.ID, 10))
+		eb.WriteString("}\n")
+		_, _ = w.Write(eb.Bytes())
+		bufPool.Put(eb)
+		return
+	}
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
@@ -151,8 +286,28 @@ func (s *Server) handleRegister(p RegisterReq) (any, *RPCError) {
 	if p.DeviceDesc.SerialNumber == "" {
 		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
 	}
+	s.regMu.Lock()
 	s.registered[p.DeviceDesc.SerialNumber] = p
+	s.regMu.Unlock()
 	return RegisterResp{RulesetInfos: []RulesetInfo{s.ruleset}}, nil
+}
+
+// availSpectrumRespRaw mirrors AvailSpectrumResp but carries the
+// spectra as pre-marshaled JSON, so cache hits skip re-encoding the
+// (up to 40-element) frequency-range list. The bytes come from
+// json.Marshal of the exact []FrequencyRange the un-cached path would
+// have embedded, so the wire output is byte-identical either way.
+type availSpectrumRespRaw struct {
+	Timestamp           time.Time             `json:"timestamp"`
+	RulesetInfo         RulesetInfo           `json:"rulesetInfo"`
+	Schedules           []spectrumScheduleRaw `json:"spectrumSchedules"`
+	NeedsSpectrumReport bool                  `json:"needsSpectrumReport"`
+}
+
+type spectrumScheduleRaw struct {
+	StartTime time.Time       `json:"startTime"`
+	StopTime  time.Time       `json:"stopTime"`
+	Spectra   json.RawMessage `json:"spectra"`
 }
 
 func (s *Server) handleGetSpectrum(p AvailSpectrumReq) (any, *RPCError) {
@@ -160,41 +315,90 @@ func (s *Server) handleGetSpectrum(p AvailSpectrumReq) (any, *RPCError) {
 		return nil, &RPCError{ErrCodeMissing, "deviceDesc.serialNumber required"}
 	}
 	if s.RequireRegistration && p.DeviceDesc.DeviceType == "FIXED" {
-		if _, ok := s.registered[p.DeviceDesc.SerialNumber]; !ok {
+		s.regMu.RLock()
+		_, ok := s.registered[p.DeviceDesc.SerialNumber]
+		s.regMu.RUnlock()
+		if !ok {
 			return nil, &RPCError{ErrCodeNotRegistered, "fixed device must register first"}
 		}
 	}
 	loc := FromGeo(p.Location)
 	now := s.Now()
-	avail := s.registry.AvailableAt(loc, now)
+	q := s.db.Query(loc, p.DeviceDesc.DeviceType, s.ruleset.RulesetID, now)
 
 	// Validity window: until the earliest lease expiry in the answer
 	// (they are uniform today, but keep the min for safety).
-	stop := now.Add(s.registry.LeaseDuration)
-	for _, ci := range avail {
+	stop := now.Add(s.db.Registry().LeaseDuration)
+	for _, ci := range q.Avail {
 		if ci.Until.Before(stop) {
 			stop = ci.Until
 		}
 	}
-	spectra := make([]FrequencyRange, 0, len(avail))
-	for _, ci := range avail {
-		spectra = append(spectra, FrequencyRange{
-			StartHz:    ci.CenterFreqHz - ci.WidthHz/2,
-			StopHz:     ci.CenterFreqHz + ci.WidthHz/2,
-			MaxEIRPdBm: ci.MaxEIRPdBm,
-			Channel:    ci.Channel,
-		})
+
+	// Record the grant in the lease store: renewal when the device
+	// already holds a live lease, fresh grant otherwise.
+	if len(q.Avail) > 0 {
+		s.db.Leases().Acquire(p.DeviceDesc.SerialNumber, p.DeviceDesc.DeviceType, q.Cell, stop, now)
 	}
-	return AvailSpectrumResp{
-		Timestamp:   now,
-		RulesetInfo: s.ruleset,
-		Schedules: []SpectrumSchedule{{
-			StartTime: now,
-			StopTime:  stop,
-			Spectra:   spectra,
-		}},
-		NeedsSpectrumReport: true,
-	}, nil
+
+	// Spectra bytes are a pure function of the blocked mask, so the
+	// rendering cache is keyed on the mask rather than the cache entry:
+	// boundary cells (which never get an entry) still reuse renderings,
+	// and distinct cells with the same availability share one.
+	var raw json.RawMessage
+	slot := q.Spectra
+	if slot != nil {
+		if v := slot.Load(); v != nil {
+			raw = v.(json.RawMessage)
+		}
+	}
+	if raw == nil {
+		spectra := make([]FrequencyRange, 0, len(q.Avail))
+		for _, ci := range q.Avail {
+			spectra = append(spectra, FrequencyRange{
+				StartHz:    ci.CenterFreqHz - ci.WidthHz/2,
+				StopHz:     ci.CenterFreqHz + ci.WidthHz/2,
+				MaxEIRPdBm: ci.MaxEIRPdBm,
+				Channel:    ci.Channel,
+			})
+		}
+		b, err := json.Marshal(spectra)
+		if err != nil {
+			return nil, &RPCError{ErrCodeInvalidValue, "encode failure"}
+		}
+		raw = b
+		if slot != nil {
+			slot.Store(raw)
+		}
+	}
+
+	// Assemble the AVAIL_SPECTRUM_RESP by hand, splicing in the
+	// premarshaled ruleset and spectra. The layout mirrors
+	// availSpectrumRespRaw field for field, so the bytes are identical
+	// to json.Marshal of that struct — without reflecting over it and
+	// re-compacting the embedded raw segments on every request.
+	rb := bufPool.Get().(*bytes.Buffer)
+	rb.Reset()
+	rb.WriteString(`{"timestamp":`)
+	writeTimeJSON(rb, now)
+	rb.WriteString(`,"rulesetInfo":`)
+	rb.Write(s.rulesetJSON)
+	rb.WriteString(`,"spectrumSchedules":[{"startTime":`)
+	writeTimeJSON(rb, now)
+	rb.WriteString(`,"stopTime":`)
+	writeTimeJSON(rb, stop)
+	rb.WriteString(`,"spectra":`)
+	rb.Write(raw)
+	rb.WriteString(`}],"needsSpectrumReport":true}`)
+	return rawResult{buf: rb}, nil
+}
+
+// writeTimeJSON appends t exactly as encoding/json marshals time.Time:
+// a quoted RFC 3339 timestamp with nanoseconds trimmed.
+func writeTimeJSON(b *bytes.Buffer, t time.Time) {
+	b.WriteByte('"')
+	b.Write(t.AppendFormat(b.AvailableBuffer(), time.RFC3339Nano))
+	b.WriteByte('"')
 }
 
 func (s *Server) handleNotifyUse(p NotifyUseReq) (any, *RPCError) {
@@ -205,12 +409,15 @@ func (s *Server) handleNotifyUse(p NotifyUseReq) (any, *RPCError) {
 	// compliant device never reports spectrum it may not use.
 	loc := FromGeo(p.Location)
 	now := s.Now()
+	met := s.db.Metrics()
 	for _, fr := range p.Spectra {
-		if !s.registry.ChannelAvailable(fr.Channel, loc, now) {
+		if !s.db.ChannelAvailable(fr.Channel, loc, now) {
+			met.NotifyRejected.Add(1)
 			return nil, &RPCError{ErrCodeInvalidValue,
 				fmt.Sprintf("channel %d not available at reported location", fr.Channel)}
 		}
 	}
-	s.useLog = append(s.useLog, p)
+	met.NotifyOK.Add(1)
+	s.recordUse(p)
 	return NotifyUseResp{}, nil
 }

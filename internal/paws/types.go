@@ -45,6 +45,13 @@ type rpcRequest struct {
 	ID      int64           `json:"id"`
 }
 
+// RPCRequest builds a marshal-ready JSON-RPC 2.0 request envelope for
+// the given method. Load generators use it to pre-marshal request
+// bodies once and replay them; the Client builds its own envelopes.
+func RPCRequest(method string, params json.RawMessage, id int64) any {
+	return rpcRequest{JSONRPC: "2.0", Method: method, Params: params, ID: id}
+}
+
 type rpcResponse struct {
 	JSONRPC string          `json:"jsonrpc"`
 	Result  json.RawMessage `json:"result,omitempty"`

@@ -1,0 +1,162 @@
+package pawsdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheShards spreads the response cache over independently locked
+// shards so hot metro cells served from many goroutines do not
+// serialize on one mutex. Reads take an RLock; only a fill takes the
+// write lock.
+const cacheShards = 64
+
+// maxEntriesPerShard bounds cache memory against adversarial query
+// scatter (every query in a fresh cell). Crossing the bound flushes
+// the shard — crude, but the cache is rebuilt from scratch on every
+// incumbent change anyway, so entries are cheap to recompute.
+const maxEntriesPerShard = 4096
+
+// cacheKey identifies one cached answer: the grid cell the query fell
+// in, the device class it was asked for, and the ruleset it was
+// answered under. Today neither class nor ruleset changes the computed
+// answer (the power cap is registry-uniform), but they are part of the
+// key so per-class EIRP rules slot in without a cache redesign.
+type cacheKey struct {
+	cell    CellKey
+	class   string
+	ruleset string
+}
+
+// CacheEntry is one immutable cached availability answer. The blocked
+// mask is the exact answer for every point of the cell during
+// [from, until); callers re-materialize per-query fields (power cap,
+// lease expiry) around it.
+//
+// A nonuniform entry is a negative result: it records that the cell
+// straddles at least one protection boundary, so per-point evaluation
+// is required. That fact can only change when an incumbent's schedule
+// edge passes (activation can't move a contour; only a candidate
+// becoming active or inactive alters which circles cross the cell),
+// so the same [from, until) window bounds it. Repeat queries into a
+// boundary cell then skip the full cell-uniformity scan and go
+// straight to the point-exact index lookup.
+type CacheEntry struct {
+	blocked    uint64
+	nonuniform bool
+	from       time.Time
+	until      time.Time // zero: no schedule boundary ahead
+}
+
+// live reports whether the entry answers queries at time t.
+func (e *CacheEntry) live(t time.Time) bool {
+	if t.Before(e.from) {
+		return false
+	}
+	return e.until.IsZero() || t.Before(e.until)
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]*CacheEntry
+}
+
+// respCache is the per-snapshot response cache. A snapshot swap (the
+// incumbent-set epoch moving) abandons the whole cache, which is the
+// epoch-invalidation contract: entries never outlive the incumbent
+// set they were computed from.
+type respCache struct {
+	shards [cacheShards]cacheShard
+}
+
+func newRespCache() *respCache {
+	c := &respCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*CacheEntry)
+	}
+	return c
+}
+
+func (c *respCache) shard(k cacheKey) *cacheShard {
+	h := uint64(uint32(k.cell.CX))*0x9e3779b1 ^ uint64(uint32(k.cell.CY))*0x85ebca77
+	for i := 0; i < len(k.class); i++ {
+		h = h*131 + uint64(k.class[i])
+	}
+	return &c.shards[h%cacheShards]
+}
+
+func (c *respCache) get(k cacheKey, t time.Time) *CacheEntry {
+	s := c.shard(k)
+	s.mu.RLock()
+	e := s.m[k]
+	s.mu.RUnlock()
+	if e != nil && e.live(t) {
+		return e
+	}
+	return nil
+}
+
+func (c *respCache) put(k cacheKey, e *CacheEntry) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if len(s.m) >= maxEntriesPerShard {
+		s.m = make(map[cacheKey]*CacheEntry)
+	}
+	s.m[k] = e
+	s.mu.Unlock()
+}
+
+// entries returns the total number of cached answers (for metrics).
+func (c *respCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// AuxSlot holds one caller-owned rendering of an availability answer.
+// The PAWS server stores the marshaled spectra JSON here. Writes are
+// racy by design (concurrent requests may both render and store the
+// same bytes); last write wins.
+type AuxSlot struct{ v atomic.Value }
+
+// Load returns the value stored by Store, or nil.
+func (s *AuxSlot) Load() any { return s.v.Load() }
+
+// Store attaches a caller-owned value to the slot.
+func (s *AuxSlot) Store(v any) { s.v.Store(v) }
+
+// maxSpectraSlots bounds the mask→rendering table against adversarial
+// query scatter (a metro registry yields a handful of distinct masks;
+// a pathological one could yield one per point). Past the cap new
+// masks are simply rendered per request.
+const maxSpectraSlots = 1 << 14
+
+// spectraCache maps a blocked-channel mask to the rendering slot for
+// answers with that mask. Spectra bytes depend only on the mask (the
+// channel plan and power cap are registry-fixed for a snapshot's
+// lifetime; the lease stop time lives in the schedule envelope, not
+// the spectra), so one slot serves every cell — uniform or boundary —
+// that resolves to the same mask.
+type spectraCache struct {
+	m sync.Map // uint64 blocked mask -> *AuxSlot
+	n atomic.Int64
+}
+
+func (c *spectraCache) slot(mask uint64) *AuxSlot {
+	if v, ok := c.m.Load(mask); ok {
+		return v.(*AuxSlot)
+	}
+	if c.n.Load() >= maxSpectraSlots {
+		return nil
+	}
+	v, loaded := c.m.LoadOrStore(mask, new(AuxSlot))
+	if !loaded {
+		c.n.Add(1)
+	}
+	return v.(*AuxSlot)
+}

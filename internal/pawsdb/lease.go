@@ -1,0 +1,190 @@
+package pawsdb
+
+import (
+	"sync"
+	"time"
+)
+
+// Lease-store geometry. 64 shards keep concurrent grants from
+// serializing; each shard owns a 512-slot timing wheel with 1-second
+// slots, so eviction work per operation is O(slots touched since the
+// shard's last advance), capped at one full wheel sweep even when a
+// simulation jumps virtual time by hours.
+const (
+	leaseShards    = 64
+	wheelSlots     = 512
+	wheelSlotWidth = time.Second
+)
+
+// lease is one device's outstanding availability grant.
+type lease struct {
+	serial string
+	class  string
+	cell   CellKey
+	until  time.Time
+	// gen invalidates stale wheel references: renewals bump it and
+	// re-insert, and the sweep drops references whose gen no longer
+	// matches (lazy deletion — no wheel search on the renewal path).
+	gen uint32
+}
+
+type wheelRef struct {
+	l   *lease
+	gen uint32
+}
+
+type leaseShard struct {
+	mu       sync.Mutex
+	m        map[string]*lease
+	wheel    [wheelSlots][]wheelRef
+	lastSlot int64 // absolute slot index the wheel has advanced to; 0 = uninitialized
+}
+
+// LeaseStore tracks per-device spectrum grants with TTL eviction. It
+// is driven entirely by the clock values callers pass in (the PAWS
+// server's injectable Now), so simulations in virtual time evict
+// exactly as a wall-clock deployment would — no background goroutine.
+type LeaseStore struct {
+	shards [leaseShards]leaseShard
+	met    *Metrics
+}
+
+func newLeaseStore(met *Metrics) *LeaseStore {
+	s := &LeaseStore{met: met}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*lease)
+	}
+	return s
+}
+
+func (s *LeaseStore) shard(serial string) *leaseShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(serial); i++ {
+		h ^= uint64(serial[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h%leaseShards]
+}
+
+func slotOf(t time.Time) int64 { return t.UnixNano() / int64(wheelSlotWidth) }
+
+// wheelIdx maps an absolute slot to a ring position, handling the
+// negative slot numbers of pre-1970 clocks (the zero time.Time).
+func wheelIdx(abs int64) int { return int(((abs % wheelSlots) + wheelSlots) % wheelSlots) }
+
+// advance sweeps wheel slots between the shard's last position and
+// now, evicting expired leases and re-bucketing far-future ones that
+// were clamped to the wheel horizon. Caller holds sh.mu.
+func (s *LeaseStore) advance(sh *leaseShard, now time.Time) {
+	target := slotOf(now)
+	if sh.lastSlot == 0 {
+		sh.lastSlot = target
+		return
+	}
+	steps := target - sh.lastSlot
+	if steps <= 0 {
+		return
+	}
+	if steps > wheelSlots {
+		steps = wheelSlots
+	}
+	for i := int64(1); i <= steps; i++ {
+		idx := wheelIdx(sh.lastSlot + i)
+		slot := sh.wheel[idx]
+		if len(slot) == 0 {
+			continue
+		}
+		sh.wheel[idx] = slot[:0]
+		for _, ref := range slot {
+			if ref.gen != ref.l.gen {
+				continue // stale reference from before a renewal
+			}
+			if !ref.l.until.After(now) {
+				delete(sh.m, ref.l.serial)
+				if s.met != nil {
+					s.met.LeasesExpired.Add(1)
+				}
+				continue
+			}
+			s.insertRef(sh, target, ref)
+		}
+	}
+	sh.lastSlot = target
+}
+
+// insertRef buckets a reference by expiry, clamping expiries beyond
+// the wheel horizon to the farthest slot (they re-bucket on sweep).
+// Caller holds sh.mu; cur is the wheel's current absolute slot.
+func (s *LeaseStore) insertRef(sh *leaseShard, cur int64, ref wheelRef) {
+	slot := slotOf(ref.l.until)
+	if slot <= cur {
+		slot = cur + 1
+	}
+	if slot > cur+wheelSlots-1 {
+		slot = cur + wheelSlots - 1
+	}
+	idx := wheelIdx(slot)
+	sh.wheel[idx] = append(sh.wheel[idx], ref)
+}
+
+// Acquire grants or renews the lease for a device serial. Renewal is
+// the fast path: an existing live lease is refreshed in place (map
+// entry reused, one wheel append) rather than deleted and re-created.
+// Returns true when this was a renewal.
+func (s *LeaseStore) Acquire(serial, class string, cell CellKey, until, now time.Time) (renewed bool) {
+	sh := s.shard(serial)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.advance(sh, now)
+	cur := sh.lastSlot
+	if l, ok := sh.m[serial]; ok && l.until.After(now) {
+		l.until = until
+		l.cell = cell
+		l.class = class
+		l.gen++
+		s.insertRef(sh, cur, wheelRef{l, l.gen})
+		if s.met != nil {
+			s.met.LeasesRenewed.Add(1)
+		}
+		return true
+	}
+	l := &lease{serial: serial, class: class, cell: cell, until: until, gen: 1}
+	sh.m[serial] = l
+	s.insertRef(sh, cur, wheelRef{l, l.gen})
+	if s.met != nil {
+		s.met.LeasesGranted.Add(1)
+	}
+	return false
+}
+
+// Release drops a device's lease (a polite vacate / cessation notify).
+// Returns true if a lease existed.
+func (s *LeaseStore) Release(serial string, now time.Time) bool {
+	sh := s.shard(serial)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.advance(sh, now)
+	if _, ok := sh.m[serial]; ok {
+		delete(sh.m, serial) // wheel refs go stale and sweep out
+		return true
+	}
+	return false
+}
+
+// Active returns the exact number of unexpired leases at now,
+// advancing every shard's wheel on the way.
+func (s *LeaseStore) Active(now time.Time) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		s.advance(sh, now)
+		for _, l := range sh.m {
+			if l.until.After(now) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package pawsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	var met Metrics
+	s := newLeaseStore(&met)
+	now := t0
+	cell := CellKey{1, 1}
+
+	if renewed := s.Acquire("AP-1", "FIXED", cell, now.Add(30*time.Second), now); renewed {
+		t.Fatal("first acquire reported as renewal")
+	}
+	if n := s.Active(now); n != 1 {
+		t.Fatalf("active = %d, want 1", n)
+	}
+	// Renewal fast path before expiry.
+	now = now.Add(20 * time.Second)
+	if renewed := s.Acquire("AP-1", "FIXED", cell, now.Add(30*time.Second), now); !renewed {
+		t.Fatal("in-lease acquire should renew")
+	}
+	// The renewal extended the TTL past the original expiry.
+	now = now.Add(25 * time.Second) // t0+45s: original until (t0+30) passed
+	if n := s.Active(now); n != 1 {
+		t.Fatalf("renewed lease dropped early: active = %d", n)
+	}
+	// Let it lapse; a fresh acquire is a grant, not a renewal.
+	now = now.Add(10 * time.Second)
+	if n := s.Active(now); n != 0 {
+		t.Fatalf("lease not evicted after expiry: active = %d", n)
+	}
+	if renewed := s.Acquire("AP-1", "FIXED", cell, now.Add(30*time.Second), now); renewed {
+		t.Fatal("acquire after expiry should be a fresh grant")
+	}
+	if g, r, e := met.LeasesGranted.Load(), met.LeasesRenewed.Load(), met.LeasesExpired.Load(); g != 2 || r != 1 || e < 1 {
+		t.Fatalf("churn counters granted=%d renewed=%d expired=%d, want 2/1/>=1", g, r, e)
+	}
+}
+
+func TestLeaseVirtualTimeJump(t *testing.T) {
+	s := newLeaseStore(nil)
+	now := t0
+	for i := 0; i < 1000; i++ {
+		s.Acquire(fmt.Sprintf("AP-%d", i), "FIXED", CellKey{}, now.Add(time.Duration(1+i)*time.Second), now)
+	}
+	if n := s.Active(now); n != 1000 {
+		t.Fatalf("active = %d, want 1000", n)
+	}
+	// A simulation jumping hours forward must evict everything in one
+	// bounded sweep, not iterate hour/slot-width empty slots.
+	now = now.Add(12 * time.Hour)
+	if n := s.Active(now); n != 0 {
+		t.Fatalf("active after 12h jump = %d, want 0", n)
+	}
+}
+
+func TestLeaseFarFutureExpiry(t *testing.T) {
+	s := newLeaseStore(nil)
+	now := t0
+	// Until far beyond the wheel horizon (512 s): must survive
+	// repeated sweeps via re-bucketing until it really expires.
+	s.Acquire("AP-far", "FIXED", CellKey{}, now.Add(2*time.Hour), now)
+	for step := 0; step < 24; step++ {
+		now = now.Add(5 * time.Minute)
+		want := 1
+		if !t0.Add(2 * time.Hour).After(now) {
+			want = 0
+		}
+		if n := s.Active(now); n != want {
+			t.Fatalf("step %d (+%v): active = %d, want %d", step, now.Sub(t0), n, want)
+		}
+	}
+}
+
+func TestLeaseRelease(t *testing.T) {
+	s := newLeaseStore(nil)
+	now := t0
+	s.Acquire("AP-9", "FIXED", CellKey{}, now.Add(time.Hour), now)
+	if !s.Release("AP-9", now) {
+		t.Fatal("release of live lease returned false")
+	}
+	if s.Release("AP-9", now) {
+		t.Fatal("double release returned true")
+	}
+	if n := s.Active(now); n != 0 {
+		t.Fatalf("active after release = %d", n)
+	}
+}
+
+func TestLeaseConcurrent(t *testing.T) {
+	s := newLeaseStore(nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			now := t0
+			for i := 0; i < per; i++ {
+				serial := fmt.Sprintf("AP-%d-%d", w, i%50)
+				now = now.Add(137 * time.Millisecond)
+				s.Acquire(serial, "FIXED", CellKey{int32(w), int32(i)}, now.Add(20*time.Second), now)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Active(t0.Add(per * 137 * time.Millisecond)); n == 0 {
+		t.Fatal("no leases survived the concurrent churn")
+	}
+}

@@ -1,0 +1,93 @@
+package pawsdb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cellfi/internal/stats"
+)
+
+// Metrics are the database's operational counters. All fields are
+// updated with atomics on the request hot path; Snapshot renders them
+// into the JSON shape /metrics serves. Latency is dispatch latency
+// (decode → answer → encode), recorded by the PAWS server around each
+// JSON-RPC call.
+type Metrics struct {
+	Queries          atomic.Int64
+	CacheHits        atomic.Int64
+	CacheNegHits     atomic.Int64
+	CacheMisses      atomic.Int64
+	CacheUncacheable atomic.Int64
+	Rebuilds         atomic.Int64
+	NotifyOK         atomic.Int64
+	NotifyRejected   atomic.Int64
+	LeasesGranted    atomic.Int64
+	LeasesRenewed    atomic.Int64
+	LeasesExpired    atomic.Int64
+	Errors           atomic.Int64
+
+	Latency stats.Histogram
+}
+
+// MetricsSnapshot is the JSON rendering of Metrics plus the gauges
+// (lease count, incumbent count, cache entries) only the DB can read.
+type MetricsSnapshot struct {
+	Queries          int64   `json:"queries"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheNegHits     int64   `json:"cache_neg_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheUncacheable int64   `json:"cache_uncacheable"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEntries     int     `json:"cache_entries"`
+	Rebuilds         int64   `json:"index_rebuilds"`
+	NotifyOK         int64   `json:"notify_ok"`
+	NotifyRejected   int64   `json:"notify_rejected"`
+	LeasesGranted    int64   `json:"leases_granted"`
+	LeasesRenewed    int64   `json:"leases_renewed"`
+	LeasesExpired    int64   `json:"leases_expired"`
+	ActiveLeases     int     `json:"active_leases"`
+	Incumbents       int     `json:"incumbents"`
+	Errors           int64   `json:"errors"`
+
+	LatencyCount  int64   `json:"latency_count"`
+	LatencyMeanNs float64 `json:"latency_mean_ns"`
+	LatencyP50Ns  int64   `json:"latency_p50_ns"`
+	LatencyP99Ns  int64   `json:"latency_p99_ns"`
+}
+
+// Snapshot renders the counters at time now (now drives lease-wheel
+// advancement for the active-lease gauge).
+func (db *DB) Snapshot(now time.Time) MetricsSnapshot {
+	m := &db.met
+	s := MetricsSnapshot{
+		Queries:          m.Queries.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheNegHits:     m.CacheNegHits.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		CacheUncacheable: m.CacheUncacheable.Load(),
+		Rebuilds:         m.Rebuilds.Load(),
+		NotifyOK:         m.NotifyOK.Load(),
+		NotifyRejected:   m.NotifyRejected.Load(),
+		LeasesGranted:    m.LeasesGranted.Load(),
+		LeasesRenewed:    m.LeasesRenewed.Load(),
+		LeasesExpired:    m.LeasesExpired.Load(),
+		ActiveLeases:     db.leases.Active(now),
+		Incumbents:       db.reg.IncumbentCount(),
+		Errors:           m.Errors.Load(),
+	}
+	// Negative hits count as lookups but not hits: they still pay a
+	// per-point index evaluation, so inflating the hit rate with them
+	// would hide boundary-cell load.
+	if lookups := s.CacheHits + s.CacheNegHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	if snap := db.snap.Load(); snap != nil && snap.cache != nil {
+		s.CacheEntries = snap.cache.entries()
+	}
+	lat := m.Latency.Snapshot()
+	s.LatencyCount = lat.N
+	s.LatencyMeanNs = lat.Mean()
+	s.LatencyP50Ns = lat.Quantile(0.50)
+	s.LatencyP99Ns = lat.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,119 @@
+package pawsload
+
+import (
+	"testing"
+	"time"
+
+	"cellfi/internal/faults"
+)
+
+// TestLeanRun drives a small lean-mode run and checks the harness's
+// accounting against the database's own counters.
+func TestLeanRun(t *testing.T) {
+	res, err := Run(Config{Clients: 200, Requests: 4000, Workers: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("clean run reported %d errors", res.Errors)
+	}
+	if res.QPS <= 0 || res.LatencyP99Ns <= 0 {
+		t.Fatalf("degenerate measurements: %+v", res)
+	}
+	if res.DB.Queries != 4000 {
+		t.Fatalf("db saw %d queries, harness sent 4000", res.DB.Queries)
+	}
+	// 200 clients over a 60 km region land in far fewer cells than
+	// there are requests: the cache must be doing real work.
+	if res.DB.CacheHitRate < 0.5 {
+		t.Fatalf("cache hit rate %.2f, want >= 0.5", res.DB.CacheHitRate)
+	}
+	// Every client holds a lease; re-queries renew rather than regrant.
+	if res.DB.LeasesGranted != 200 || res.DB.LeasesRenewed != 3800 {
+		t.Fatalf("lease churn granted=%d renewed=%d, want 200/3800",
+			res.DB.LeasesGranted, res.DB.LeasesRenewed)
+	}
+}
+
+// TestLeanMatchesWire: both modes must agree with the database's
+// accounting; wire mode additionally exercises the real client.
+func TestWireRun(t *testing.T) {
+	res, err := Run(Config{Clients: 50, Requests: 500, Workers: 4, Seed: 3, Wire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("clean wire run reported %d errors", res.Errors)
+	}
+	if res.DB.Queries != 500 {
+		t.Fatalf("db saw %d queries, want 500", res.DB.Queries)
+	}
+}
+
+// TestWireRunWithFaults: a seeded injector profile must surface some
+// client-visible failures without wedging the run.
+func TestWireRunWithFaults(t *testing.T) {
+	// "outage" injects only instant faults (5xx bursts, drops), so the
+	// test doesn't pay real injected-latency sleeps.
+	res, err := Run(Config{
+		Clients: 20, Requests: 300, Workers: 2, Seed: 11,
+		Wire: true, FaultProfile: "outage",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("outage profile produced no client-visible errors over 300 calls")
+	}
+	if res.DB.Queries == 0 {
+		t.Fatal("no request reached the database through the injector")
+	}
+}
+
+// TestOutageWindowCountsErrors: requests landing in a FlakyHandler
+// window must be counted as errors, and the run must keep its open-loop
+// pace through the outage rather than stalling.
+func TestOutageWindowCountsErrors(t *testing.T) {
+	res, err := Run(Config{
+		Clients: 100, Requests: 2000, Workers: 4, Seed: 5,
+		TargetQPS: 4000,
+		Outages:   []faults.Window{{From: 100 * time.Millisecond, To: 250 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("outage window produced no errors")
+	}
+	if res.Errors >= res.Requests {
+		t.Fatalf("every request failed (%d/%d): outage never lifted", res.Errors, res.Requests)
+	}
+	// The DB only sees the requests that got past the outage wrapper.
+	if got := res.DB.Queries + res.Errors; got != res.Requests {
+		t.Fatalf("queries(%d) + outage errors(%d) = %d, want %d",
+			res.DB.Queries, res.Errors, got, res.Requests)
+	}
+}
+
+// TestPacingHonorsTarget: a paced run must take at least as long as the
+// schedule implies (open-loop, not burst-then-idle).
+func TestPacingHonorsTarget(t *testing.T) {
+	res, err := Run(Config{Clients: 10, Requests: 400, Workers: 4, Seed: 2, TargetQPS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := 0.9 * 400.0 / 2000.0; res.Duration < min {
+		t.Fatalf("run finished in %.3fs, schedule floor is %.3fs", res.Duration, min)
+	}
+	if res.QPS > 2000*1.5 {
+		t.Fatalf("sustained %.0f qps against a 2000 qps target", res.QPS)
+	}
+}
+
+// TestBadFaultProfile: an unknown profile is a config error, not a
+// silent no-fault run.
+func TestBadFaultProfile(t *testing.T) {
+	if _, err := Run(Config{Clients: 5, Requests: 10, Wire: true, FaultProfile: "no-such-profile"}); err == nil {
+		t.Fatal("unknown fault profile accepted")
+	}
+}

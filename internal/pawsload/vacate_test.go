@@ -1,0 +1,228 @@
+package pawsload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellfi/internal/core"
+	"cellfi/internal/faults"
+	"cellfi/internal/geo"
+	"cellfi/internal/paws"
+	"cellfi/internal/pawsdb"
+)
+
+// TestVacateUnderFailover is the fleet-scale regulatory property: a
+// fleet of concurrent APs polling the production pawsdb-backed server
+// through a scripted database failover must, at every virtual second,
+// satisfy the ETSI EN 301 598 invariant — no AP transmits more than
+// core.VacateDeadline past its last successful database contact, as
+// judged by an independent wire observer per AP (not the selector's
+// own bookkeeping).
+//
+// The schedule has two outages: one longer than the vacate budget
+// (every on-air AP must go dark and reacquire after recovery) and one
+// shorter (the grace period must ride it out with zero vacates).
+func TestVacateUnderFailover(t *testing.T) {
+	const (
+		fleetSize = 40
+		steps     = 500 // virtual seconds; APs poll once per second
+	)
+	var (
+		blackout = faults.Window{From: 60 * time.Second, To: 210 * time.Second}  // 150s > VacateDeadline
+		blip     = faults.Window{From: 350 * time.Second, To: 380 * time.Second} // 30s < VacateDeadline
+	)
+
+	start := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	var elapsedNs atomic.Int64
+	vnow := func() time.Time { return start.Add(time.Duration(elapsedNs.Load())) }
+
+	reg := BuildRegistry(9, 60, 30000)
+	srv := paws.NewServerWith(pawsdb.New(reg, pawsdb.Options{}))
+	srv.Now = vnow
+	flaky := &faults.FlakyHandler{
+		Inner:   srv,
+		Windows: []faults.Window{blackout, blip},
+		Start:   start,
+		Now:     vnow,
+	}
+
+	type ap struct {
+		sel *core.ChannelSelector
+		obs *wireObserver
+	}
+	rng := rand.New(rand.NewSource(9 ^ 0x51ab))
+	fleet := make([]*ap, fleetSize)
+	for i := range fleet {
+		obs := &wireObserver{
+			inner: faults.HandlerTransport{Handler: flaky},
+			now:   vnow,
+		}
+		cl := paws.NewClient("http://pawsdb.virtual/paws", fmt.Sprintf("AP-VAC-%03d", i))
+		cl.HTTPClient = &http.Client{Transport: obs}
+		cl.Retry = paws.RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Seed:        int64(i),
+			Sleep:       func(time.Duration) {}, // retries are instant in virtual time
+		}
+		loc := geo.Point{
+			X: (rng.Float64()*2 - 1) * 30000,
+			Y: (rng.Float64()*2 - 1) * 30000,
+		}
+		fleet[i] = &ap{sel: core.NewChannelSelector(cl, loc, 15), obs: obs}
+	}
+
+	onAir := func() map[int]bool {
+		now := vnow()
+		set := map[int]bool{}
+		for i, a := range fleet {
+			if a.sel.TransmitAllowed(now) {
+				set[i] = true
+			}
+		}
+		return set
+	}
+
+	var preBlackout, preBlip map[int]bool
+	var preBlipVacated uint64
+	for step := 1; step <= steps; step++ {
+		elapsedNs.Store(int64(step) * int64(time.Second))
+		now := vnow()
+
+		// All APs poll concurrently: the server, lease store and cache
+		// see real contention (the suite runs under -race).
+		var wg sync.WaitGroup
+		for _, a := range fleet {
+			wg.Add(1)
+			go func(a *ap) {
+				defer wg.Done()
+				a.sel.Refresh(now)
+			}(a)
+		}
+		wg.Wait()
+
+		// THE invariant, every AP, every step: transmission implies
+		// wire-observed contact within the vacate budget.
+		for i, a := range fleet {
+			if !a.sel.TransmitAllowed(now) {
+				continue
+			}
+			if a.obs.last.IsZero() {
+				t.Fatalf("step %d: AP %d transmitting with no successful contact ever", step, i)
+			}
+			if age := now.Sub(a.obs.last); age > core.VacateDeadline {
+				t.Fatalf("step %d: AP %d transmitting %v past last contact (budget %v)",
+					step, i, age, core.VacateDeadline)
+			}
+		}
+
+		elapsed := time.Duration(step) * time.Second
+		switch {
+		case elapsed == blackout.From-time.Second:
+			preBlackout = onAir()
+			if len(preBlackout) == 0 {
+				t.Fatalf("no AP on air before the blackout; the scenario tests nothing")
+			}
+		case elapsed >= blackout.From+core.VacateDeadline+2*time.Second && elapsed < blackout.To:
+			// Deep blackout: the vacate budget of every AP has expired.
+			if on := onAir(); len(on) != 0 {
+				t.Fatalf("t=+%v: %d APs still transmitting deep into a %v outage",
+					elapsed, len(on), blackout.To-blackout.From)
+			}
+		case elapsed == blackout.To+2*time.Second:
+			// Two polls after recovery every previously on-air AP must
+			// be back on a channel.
+			on := onAir()
+			for i := range preBlackout {
+				if !on[i] {
+					t.Fatalf("AP %d did not reacquire within 2 polls of the blackout ending", i)
+				}
+			}
+		case elapsed == blip.From-time.Second:
+			preBlip = onAir()
+			for _, a := range fleet {
+				preBlipVacated += a.sel.Stats().Vacated
+			}
+		case elapsed == blip.To+2*time.Second:
+			// The short blip fits inside the vacate budget: grace must
+			// have carried every on-air AP through with no vacate.
+			on := onAir()
+			grace := uint64(0)
+			vacated := uint64(0)
+			for _, a := range fleet {
+				st := a.sel.Stats()
+				grace += st.GraceEntries
+				vacated += st.Vacated
+			}
+			for i := range preBlip {
+				if !on[i] {
+					t.Fatalf("AP %d dropped off air across a %v blip (budget %v)",
+						i, blip.To-blip.From, core.VacateDeadline)
+				}
+			}
+			if vacated != preBlipVacated {
+				t.Fatalf("short blip caused %d vacates; grace period should have absorbed it",
+					vacated-preBlipVacated)
+			}
+			if grace == 0 {
+				t.Fatal("no AP entered grace during the blip; the scenario tests nothing")
+			}
+		}
+	}
+
+	// The run must have exercised both sides of the gate.
+	var contacts int64
+	var vacated uint64
+	for _, a := range fleet {
+		contacts += int64(a.obs.n)
+		vacated += a.sel.Stats().Vacated
+	}
+	if contacts == 0 {
+		t.Fatal("fleet never reached the database")
+	}
+	if vacated == 0 {
+		t.Fatal("blackout never forced a vacate; the invariant was not stressed")
+	}
+}
+
+// wireObserver records, in virtual time, every exchange in which the
+// database coherently answered (HTTP 200, valid JSON-RPC, no error
+// member) — the regulatory notion of "successful contact". Each AP
+// owns one, so the assertion judges the wire, not selector state.
+type wireObserver struct {
+	inner http.RoundTripper
+	now   func() time.Time
+	last  time.Time
+	n     int
+}
+
+func (o *wireObserver) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := o.inner.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	if rerr != nil {
+		return resp, err
+	}
+	var rr struct {
+		Result json.RawMessage `json:"result"`
+		Error  *paws.RPCError  `json:"error"`
+	}
+	if json.Unmarshal(body, &rr) == nil && rr.Error == nil && rr.Result != nil {
+		o.last = o.now()
+		o.n++
+	}
+	return resp, err
+}

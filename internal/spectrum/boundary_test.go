@@ -1,0 +1,138 @@
+package spectrum
+
+import (
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+)
+
+// TestAvailableAtProtectRadiusBoundary pins the regulatory edge of
+// AvailableAt: a device sitting exactly ProtectRadius from the
+// incumbent is inside the protection area (Protects uses <=), one
+// epsilon further out it is not. The pawsdb grid index mirrors this
+// exact predicate, so the boundary being inclusive here is what the
+// 100-seed equivalence suite holds it to.
+func TestAvailableAtProtectRadiusBoundary(t *testing.T) {
+	r := NewRegistry(EU)
+	if err := r.AddIncumbent(Incumbent{
+		Kind: TVStation, Channel: 30,
+		Location: geo.Point{X: 1000, Y: 2000}, ProtectRadius: 700, From: t0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	offered := func(p geo.Point) bool {
+		for _, ci := range r.AvailableAt(p, t0) {
+			if ci.Channel == 30 {
+				return true
+			}
+		}
+		return false
+	}
+	// Axis-aligned so the float64 distance is exact.
+	if offered(geo.Point{X: 1700, Y: 2000}) {
+		t.Error("point exactly at ProtectRadius must be protected (boundary inclusive)")
+	}
+	if !offered(geo.Point{X: 1700.001, Y: 2000}) {
+		t.Error("point 1mm past ProtectRadius must be offered the channel")
+	}
+	if offered(geo.Point{X: 1000, Y: 2000}) {
+		t.Error("incumbent's own location must be protected")
+	}
+}
+
+// TestAvailableAtOverlappingIncumbents: a TV station and a scheduled
+// wireless mic protect the same channel with different footprints and
+// schedules. The channel must be withheld whenever ANY active
+// incumbent covers the point, and RemoveIncumbents on the channel
+// clears both at once.
+func TestAvailableAtOverlappingIncumbents(t *testing.T) {
+	r := NewRegistry(EU)
+	// TV: always on, 2 km around the origin.
+	if err := r.AddIncumbent(Incumbent{
+		Kind: TVStation, Channel: 40, ProtectRadius: 2000, From: t0.Add(-time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mic: 5 km around the same origin, active only for one hour.
+	if err := r.AddIncumbent(Incumbent{
+		Kind: WirelessMic, Channel: 40, ProtectRadius: 5000,
+		From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	offered := func(p geo.Point, at time.Time) bool {
+		for _, ci := range r.AvailableAt(p, at) {
+			if ci.Channel == 40 {
+				return true
+			}
+		}
+		return false
+	}
+	inner := geo.Point{X: 1500}        // inside both footprints
+	ring := geo.Point{X: 3500}         // mic-only ring
+	outside := geo.Point{X: 6000}      // outside both
+	during := t0.Add(90 * time.Minute) // mic active
+	after := t0.Add(3 * time.Hour)     // mic over
+
+	if offered(inner, t0) || offered(inner, during) || offered(inner, after) {
+		t.Error("TV footprint must block at all times regardless of the mic")
+	}
+	if !offered(ring, t0) {
+		t.Error("mic-only ring must be free before the mic activates")
+	}
+	if offered(ring, during) {
+		t.Error("mic-only ring must be blocked while the mic is active")
+	}
+	if !offered(ring, after) {
+		t.Error("mic-only ring must be free again after the mic ends")
+	}
+	if !offered(outside, during) {
+		t.Error("point outside both footprints must always be offered")
+	}
+	// Channel-keyed removal clears the TV and the mic together.
+	if n := r.RemoveIncumbents(40); n != 2 {
+		t.Fatalf("RemoveIncumbents(40) removed %d, want both overlapping incumbents", n)
+	}
+	if !offered(inner, during) {
+		t.Error("channel still withheld after both incumbents were removed")
+	}
+}
+
+// TestAvailableAtDomainMaps: the EU and US channel plans differ in
+// numbering, count and width, and each registry rejects channels from
+// the other plan.
+func TestAvailableAtDomainMaps(t *testing.T) {
+	cases := []struct {
+		dom         Domain
+		first, last int
+		count       int
+		widthHz     float64
+		foreignCh   int // valid only in the other domain
+	}{
+		{EU, 21, 60, 40, 8e6, 14},
+		{US, 14, 51, 38, 6e6, 60},
+	}
+	for _, c := range cases {
+		r := NewRegistry(c.dom)
+		avail := r.AvailableAt(geo.Point{}, t0)
+		if len(avail) != c.count {
+			t.Errorf("%s: empty registry offers %d channels, want %d", c.dom, len(avail), c.count)
+		}
+		if got := avail[0].Channel; got != c.first {
+			t.Errorf("%s: first channel %d, want %d", c.dom, got, c.first)
+		}
+		if got := avail[len(avail)-1].Channel; got != c.last {
+			t.Errorf("%s: last channel %d, want %d", c.dom, got, c.last)
+		}
+		for _, ci := range avail {
+			if ci.WidthHz != c.widthHz {
+				t.Errorf("%s: channel %d width %g Hz, want %g", c.dom, ci.Channel, ci.WidthHz, c.widthHz)
+				break
+			}
+		}
+		if err := r.AddIncumbent(Incumbent{Channel: c.foreignCh, From: t0}); err == nil {
+			t.Errorf("%s: accepted channel %d from the other domain's plan", c.dom, c.foreignCh)
+		}
+	}
+}

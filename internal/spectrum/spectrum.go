@@ -9,6 +9,7 @@ package spectrum
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cellfi/internal/geo"
@@ -140,6 +141,11 @@ type Registry struct {
 	// LeaseDuration is how long an availability answer stays valid.
 	LeaseDuration time.Duration
 	incumbents    []Incumbent
+	// epoch counts incumbent-set mutations. Derived structures (the
+	// pawsdb grid index and response cache) compare it against the
+	// epoch they were built at and rebuild when it moves. It is the
+	// only Registry field safe to read without external locking.
+	epoch atomic.Int64
 }
 
 // NewRegistry returns a registry for the given domain with the FCC fixed
@@ -163,8 +169,18 @@ func (r *Registry) AddIncumbent(inc Incumbent) error {
 		return fmt.Errorf("spectrum: negative protection radius")
 	}
 	r.incumbents = append(r.incumbents, inc)
+	r.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the incumbent-set mutation counter. It is safe to read
+// concurrently with queries; mutation itself still requires the
+// caller's serialization (the PAWS server's Lock/Unlock).
+func (r *Registry) Epoch() int64 { return r.epoch.Load() }
+
+// IncumbentCount returns how many incumbents are registered, without
+// copying them (used by health endpoints).
+func (r *Registry) IncumbentCount() int { return len(r.incumbents) }
 
 // RemoveIncumbents deletes all incumbents on the given channel and
 // returns how many were removed. (Used by tests and the Figure 6
@@ -180,6 +196,9 @@ func (r *Registry) RemoveIncumbents(channel int) int {
 		kept = append(kept, inc)
 	}
 	r.incumbents = kept
+	if removed > 0 {
+		r.epoch.Add(1)
+	}
 	return removed
 }
 

@@ -1,0 +1,158 @@
+// BENCH_paws.json writer: regenerates the committed spectrum-database
+// load baseline when PAWS_BENCH_OUT is set (see `make BENCH_paws.json`).
+// It runs the internal/pawsload open-loop harness three ways — cached,
+// cache-disabled, and a paced soak through a scripted database outage —
+// and enforces the ISSUE gates: >= 50k sustained queries/sec on one
+// core, the cache measurably beating the raw index path, a bounded p99,
+// and an outage that produces client-visible errors without wedging the
+// run. PAWS_BENCH_QUICK=1 shrinks the run for local iteration (do not
+// commit a quick artifact).
+package cellfi_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellfi/internal/faults"
+	"cellfi/internal/pawsload"
+)
+
+// pawsBenchArtifact is the schema of BENCH_paws.json. The top-level
+// scalars (sustained_qps, cached_p99_ns, cache_hit_rate) are what
+// scripts/benchdiff.sh compares; the per-run results carry the full
+// detail.
+type pawsBenchArtifact struct {
+	Generated   time.Time `json:"generated"`
+	GoMaxProcs  int       `json:"go_max_procs"`
+	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	Description string    `json:"description"`
+
+	Clients    int `json:"clients"`
+	Requests   int `json:"requests"`
+	Incumbents int `json:"incumbents"`
+
+	SustainedQPS float64 `json:"sustained_qps"`
+	CachedP99Ns  int64   `json:"cached_p99_ns"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheSpeedup is cached QPS over uncached QPS (>1 means the cache
+	// pays for itself end to end, request decode and encode included).
+	CacheSpeedup float64 `json:"cache_speedup"`
+
+	Cached     pawsload.Result `json:"cached"`
+	Uncached   pawsload.Result `json:"uncached"`
+	OutageSoak pawsload.Result `json:"outage_soak"`
+}
+
+// TestPAWSBenchArtifact regenerates BENCH_paws.json when PAWS_BENCH_OUT
+// is set. The gates mirror the roadmap acceptance criteria; benchmark
+// noise on shared hardware is absorbed by generous ceilings, not by
+// skipping the check.
+func TestPAWSBenchArtifact(t *testing.T) {
+	out := os.Getenv("PAWS_BENCH_OUT")
+	if out == "" {
+		t.Skip("set PAWS_BENCH_OUT to write BENCH_paws.json")
+	}
+
+	clients, requests := 100_000, 500_000
+	qpsFloor := 50_000.0
+	if os.Getenv("PAWS_BENCH_QUICK") == "1" {
+		clients, requests = 10_000, 50_000
+	}
+	const incumbents = 160
+
+	run := func(label string, cfg pawsload.Config) pawsload.Result {
+		t.Helper()
+		res, err := pawsload.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s run: %v", label, err)
+		}
+		t.Logf("%s: %.0f qps, p99 %.1fus, hit rate %.1f%%, errors %d",
+			label, res.QPS, float64(res.LatencyP99Ns)/1e3, 100*res.DB.CacheHitRate, res.Errors)
+		return res
+	}
+
+	base := pawsload.Config{Clients: clients, Requests: requests, Incumbents: incumbents, Seed: 1}
+	cached := run("cached", base)
+
+	uncachedCfg := base
+	uncachedCfg.DisableCache = true
+	uncached := run("uncached", uncachedCfg)
+
+	// Outage soak: paced at the QPS floor through a scripted 1 s
+	// database outage. The open-loop schedule must hold (the outage
+	// converts requests to errors, it does not stall the run).
+	soakCfg := pawsload.Config{
+		Clients: clients / 10, Requests: requests / 5, Incumbents: incumbents, Seed: 1,
+		TargetQPS: qpsFloor,
+		Outages:   []faults.Window{{From: 500 * time.Millisecond, To: 1500 * time.Millisecond}},
+	}
+	soak := run("outage-soak", soakCfg)
+
+	art := pawsBenchArtifact{
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Description: "PAWS spectrum-database load baseline (internal/pawsload, lean mode, " +
+			"single process). `cached` and `uncached` drive the same seeded metro " +
+			"(100k APs, 160 incumbents, 60x60 km) through the pawsdb-backed server " +
+			"at full speed with the response cache on and off; `outage_soak` paces " +
+			"the same traffic at the 50k qps floor through a scripted 1 s database " +
+			"outage (faults.FlakyHandler) to show errors are counted, not wedging. " +
+			"Enforced: sustained_qps >= 50k, cached beats uncached, cache_hit_rate " +
+			">= 0.5, cached p99 <= 2 ms, zero errors outside the outage window.",
+		Clients:      clients,
+		Requests:     requests,
+		Incumbents:   incumbents,
+		SustainedQPS: cached.QPS,
+		CachedP99Ns:  cached.LatencyP99Ns,
+		CacheHitRate: cached.DB.CacheHitRate,
+		Cached:       cached,
+		Uncached:     uncached,
+		OutageSoak:   soak,
+	}
+	if uncached.QPS > 0 {
+		art.CacheSpeedup = cached.QPS / uncached.QPS
+	}
+
+	if cached.Errors != 0 || uncached.Errors != 0 {
+		t.Errorf("clean runs reported errors: cached %d, uncached %d", cached.Errors, uncached.Errors)
+	}
+	if cached.QPS < qpsFloor {
+		t.Errorf("sustained %.0f qps, floor %.0f", cached.QPS, qpsFloor)
+	}
+	if cached.QPS <= uncached.QPS {
+		t.Errorf("cache does not beat the raw index path: %.0f vs %.0f qps", cached.QPS, uncached.QPS)
+	}
+	if art.CacheHitRate < 0.5 {
+		t.Errorf("cache hit rate %.2f, want >= 0.5", art.CacheHitRate)
+	}
+	if limit := int64(2 * time.Millisecond); cached.LatencyP99Ns > limit {
+		t.Errorf("cached p99 %.1fus exceeds the %.1fms bound",
+			float64(cached.LatencyP99Ns)/1e3, float64(limit)/1e6)
+	}
+	if soak.Errors == 0 {
+		t.Error("outage soak produced no errors; the window never hit")
+	}
+	if soak.Errors >= soak.Requests {
+		t.Errorf("outage soak failed every request (%d/%d)", soak.Errors, soak.Requests)
+	}
+	if soak.DB.Queries+soak.Errors != soak.Requests {
+		t.Errorf("soak accounting: db queries %d + errors %d != requests %d",
+			soak.DB.Queries, soak.Errors, soak.Requests)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f qps sustained, %.2fx over uncached, hit rate %.1f%%",
+		out, art.SustainedQPS, art.CacheSpeedup, 100*art.CacheHitRate)
+}

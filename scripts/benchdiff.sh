@@ -9,6 +9,12 @@
 # (default 10%). Benchmarks are noisy on loaded machines, so this is an
 # opt-in verify stage (VERIFY_BENCH=1 ./scripts/verify.sh), not part of
 # the default gate.
+#
+# When a BENCH_paws.json baseline is present, the spectrum-database
+# load run is re-measured the same way: sustained_qps must not drop by
+# more than BENCH_TOLERANCE_PCT, and cached_p99_ns must not rise by
+# more than PAWS_P99_TOLERANCE_PCT (default 50% — tail latency on one
+# shared core is much noisier than throughput).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -86,6 +92,44 @@ for key in csma_slot_loop_ms lte_subframe lte_scheduler_allocate; do
 		}
 	}' || fail=1
 done
+
+# Spectrum-database load baseline (same full-scale run the committed
+# artifact used, so the comparison is apples to apples).
+PAWS_BASELINE=${PAWS_BASELINE:-BENCH_paws.json}
+PAWS_P99_TOL=${PAWS_P99_TOLERANCE_PCT:-50}
+if [ -f "$PAWS_BASELINE" ]; then
+	base_qps=$(read_top "$PAWS_BASELINE" sustained_qps)
+	base_p99=$(read_top "$PAWS_BASELINE" cached_p99_ns)
+	if [ -z "$base_qps" ] || [ -z "$base_p99" ]; then
+		echo "benchdiff: could not read sustained_qps/cached_p99_ns from $PAWS_BASELINE" >&2
+		fail=1
+	else
+		echo "== benchdiff: re-measuring spectrum-database load (this runs the full 500k-request harness)"
+		PAWS_BENCH_OUT="$tmp/paws.json" go test -run TestPAWSBenchArtifact -count 1 . >/dev/null
+		cur_qps=$(read_top "$tmp/paws.json" sustained_qps)
+		cur_p99=$(read_top "$tmp/paws.json" cached_p99_ns)
+		awk -v cur="$cur_qps" -v base="$base_qps" -v tol="$TOLERANCE_PCT" 'BEGIN {
+			ratio = cur / base * 100
+			printf "benchdiff: paws qps baseline %.0f, current %.0f (%.1f%%, floor %d%%)\n",
+				base, cur, ratio, 100 - tol
+			if (ratio < 100 - tol) {
+				printf "benchdiff: FAIL — paws sustained qps regressed more than %d%%\n", tol
+				exit 1
+			}
+		}' || fail=1
+		awk -v cur="$cur_p99" -v base="$base_p99" -v tol="$PAWS_P99_TOL" 'BEGIN {
+			ratio = cur / base * 100
+			printf "benchdiff: paws cached p99 baseline %.1fus, current %.1fus (%.1f%%, ceiling %d%%)\n",
+				base / 1e3, cur / 1e3, ratio, 100 + tol
+			if (ratio > 100 + tol) {
+				printf "benchdiff: FAIL — paws cached p99 regressed more than %d%%\n", tol
+				exit 1
+			}
+		}' || fail=1
+	fi
+else
+	echo "benchdiff: no $PAWS_BASELINE; skipping spectrum-database comparison"
+fi
 
 if [ "$fail" -ne 0 ]; then
 	echo "benchdiff: FAIL"

@@ -48,4 +48,12 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	./scripts/benchdiff.sh
 fi
 
+# Optional spectrum-database stage: VERIFY_PAWS=1 runs the pawsdb and
+# load-harness suites (index/cache equivalence, lease wheel, fleet
+# vacate-under-failover) under the race detector.
+if [ "${VERIFY_PAWS:-0}" = "1" ]; then
+	echo "== go test -race (pawsdb, pawsload)"
+	go test -race ./internal/pawsdb ./internal/pawsload
+fi
+
 echo "verify: OK"
