@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench sweep experiments fmt chaos fuzz-short race
+.PHONY: all build test verify bench sweep experiments fmt chaos chaos-soak fuzz-short race
 
 all: build
 
@@ -22,6 +22,14 @@ verify:
 chaos:
 	$(GO) test -race -count=5 -run 'TestETSIVacateProperty|TestChaosDeterminism|TestChaosGoldenTransitionLog' ./internal/core
 
+# chaos-soak is the world-level acceptance run: a 100-seed chaos
+# matrix (AP crash/restart x incumbent storms x PAWS failover x clock
+# skew) under the race detector, every world audited online by the
+# regulatory invariant watchdog — zero violations or the run fails
+# with the first violating trace record.
+chaos-soak:
+	CHAOS_WORLD_SEEDS=100 $(GO) test -race -run 'TestChaosMatrix|TestWatchdog' -v ./internal/chaos
+
 # race runs the full test suite under the race detector (the verify
 # gate covers only the concurrency-bearing subset; this is the long
 # form, also reachable via VERIFY_RACE=1 ./scripts/verify.sh).
@@ -29,10 +37,12 @@ race:
 	$(GO) test -race ./...
 
 # fuzz-short gives the parsing surfaces a quick shake: the PAWS
-# client-side response decoder and the flight-recorder stream decoder.
+# client-side response decoder, the flight-recorder stream decoder,
+# and the invariant verifier replaying arbitrary decoded streams.
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/paws
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzVerify -fuzztime=10s -run '^$$' ./internal/invariant
 
 # bench runs the hot-path benchmark suite with allocation tracking:
 # the sim event core, the Wi-Fi CSMA and LTE subframe loops, the

@@ -68,8 +68,22 @@ func main() {
 			prof.Name, *chaosSeed)
 	}
 
-	if err := startup(client, pos, *startupRetries); err != nil {
+	// SIGINT and SIGTERM are identical: containerized deployments send
+	// SIGTERM on `docker stop` / pod eviction and expect the same clean
+	// drain an operator's ^C gets. Install the handler before startup so
+	// a signal during the (possibly long) registration backoff exits
+	// promptly instead of dying to the default handler mid-retry.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	ok, err := startup(client, pos, *startupRetries, sigs)
+	if err != nil {
 		log.Fatalf("cellfi-ap: %v", err)
+	}
+	if !ok {
+		// Signalled before registration completed: nothing is on the
+		// air and nothing was registered, so there is nothing to vacate.
+		return
 	}
 	log.Printf("registered %s with %s", *serial, *db)
 
@@ -77,9 +91,6 @@ func main() {
 	sel.OnTransition = func(tr core.Transition) {
 		log.Printf("lease: %s", tr)
 	}
-
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 
 	deadline := time.Time{}
 	if *duration > 0 {
@@ -127,12 +138,12 @@ func main() {
 			}
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			shutdown(client, pos, sel, "duration elapsed")
+			shutdown(client, pos, sel, sigs, "duration elapsed")
 			return
 		}
 		select {
 		case sig := <-sigs:
-			shutdown(client, pos, sel, sig.String())
+			shutdown(client, pos, sel, sigs, sig.String())
 			return
 		case <-ticker.C:
 		}
@@ -141,8 +152,10 @@ func main() {
 
 // startup performs the INIT handshake and registration with bounded
 // retries — a database that is briefly down at boot must not kill the
-// AP, but a fatal or regulatory answer must.
-func startup(client *paws.Client, pos geo.Point, retries int) error {
+// AP, but a fatal or regulatory answer must. A SIGINT/SIGTERM during
+// the retry backoff returns (false, nil): drain requested before the
+// AP ever registered, so the caller just exits.
+func startup(client *paws.Client, pos geo.Point, retries int, sigs <-chan os.Signal) (bool, error) {
 	if retries < 1 {
 		retries = 1
 	}
@@ -158,16 +171,21 @@ func startup(client *paws.Client, pos geo.Point, retries int) error {
 			return nil
 		}()
 		if err == nil {
-			return nil
+			return true, nil
 		}
 		if paws.Classify(err) != paws.Transient {
-			return fmt.Errorf("startup failed (%s): %w", paws.Classify(err), err)
+			return false, fmt.Errorf("startup failed (%s): %w", paws.Classify(err), err)
 		}
 		if attempt >= retries {
-			return fmt.Errorf("startup failed after %d attempts: %w", attempt, err)
+			return false, fmt.Errorf("startup failed after %d attempts: %w", attempt, err)
 		}
 		log.Printf("startup attempt %d/%d failed: %v (retrying in %v)", attempt, retries, err, backoff)
-		time.Sleep(backoff)
+		select {
+		case sig := <-sigs:
+			log.Printf("%s during startup: exiting before registration", sig)
+			return false, nil
+		case <-time.After(backoff):
+		}
 		if backoff < 30*time.Second {
 			backoff *= 2
 		}
@@ -185,8 +203,15 @@ func notifyUse(client *paws.Client, pos geo.Point, l *core.Lease) error {
 
 // shutdown vacates gracefully: radio off, a final empty spectrum-use
 // notification (the cessation report), and a stats line for the log.
-func shutdown(client *paws.Client, pos geo.Point, sel *core.ChannelSelector, why string) {
+// A second signal while the cessation notify is in flight forces an
+// immediate exit — a drain must never hang on a dead database.
+func shutdown(client *paws.Client, pos geo.Point, sel *core.ChannelSelector, sigs <-chan os.Signal, why string) {
 	log.Printf("shutting down (%s): vacating", why)
+	go func() {
+		sig := <-sigs
+		log.Printf("second signal (%s) during shutdown: forcing exit", sig)
+		os.Exit(1)
+	}()
 	if err := client.NotifyUse(pos, nil); err != nil {
 		log.Printf("final spectrum-use notification failed: %v", err)
 	}

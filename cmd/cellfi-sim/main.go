@@ -46,6 +46,7 @@ func main() {
 	trials := flag.Int("trials", 1, "independent topologies to run")
 	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace-dir", "", "flight-record each trial into this directory (must exist)")
+	invariants := flag.Bool("invariants", false, "attach the online regulatory invariant watchdog to every trial; any violation fails the run")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -101,7 +102,15 @@ func main() {
 	}
 
 	rep := runner.Run(context.Background(), "cellfi-sim", specs,
-		runner.Options{Workers: *workers, TraceDir: *traceDir})
+		runner.Options{Workers: *workers, TraceDir: *traceDir, Invariants: *invariants})
+	if *invariants {
+		for _, r := range rep.Runs {
+			if r.InvariantRule != "" {
+				log.Fatalf("cellfi-sim: trial %d (%s): invariant %s violated %d time(s), first at record %d: %s",
+					r.Index, r.Label, r.InvariantRule, r.InvariantViolations, r.InvariantIndex, r.InvariantRecord)
+			}
+		}
+	}
 	results, err := runner.Values[trialResult](rep)
 	if err != nil {
 		log.Fatalf("cellfi-sim: %v", err)

@@ -8,6 +8,7 @@
 //	cellfi-trace info file.trace
 //	cellfi-trace timeline [-ap N] file.trace
 //	cellfi-trace diff a.trace b.trace
+//	cellfi-trace verify [-deadline d] [-slack d] [-all] file.trace
 //
 // dump prints one record per line in the stable textual form. info
 // summarizes a stream (record counts per kind, APs, time span).
@@ -15,7 +16,11 @@
 // ASCII heatmap — subchannel rows × epoch columns, built from im-share
 // bitmasks, with hop-in (+) and hop-out (x) marks. diff compares two
 // streams record by record and exits 1 at the first divergence — the
-// determinism check behind "same seed, same trace".
+// determinism check behind "same seed, same trace". verify replays a
+// recorded stream through the regulatory invariant checker
+// (internal/invariant) and exits 1 with the first violating record on
+// any breach — the offline audit of what the runner's -invariants
+// watchdog enforces online.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"os"
 	"sort"
 
+	"cellfi/internal/invariant"
 	"cellfi/internal/stats"
 	"cellfi/internal/trace"
 )
@@ -43,6 +49,8 @@ func main() {
 		err = cmdTimeline(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -62,7 +70,8 @@ func usage() {
   cellfi-trace dump [-ap N] [-kind name] [-from ns] [-to ns] file.trace
   cellfi-trace info file.trace
   cellfi-trace timeline [-ap N] file.trace
-  cellfi-trace diff a.trace b.trace`)
+  cellfi-trace diff a.trace b.trace
+  cellfi-trace verify [-deadline d] [-slack d] [-all] file.trace`)
 }
 
 // filter is the record predicate dump builds from its flags.
@@ -296,6 +305,44 @@ func apSuffix(ap int64) string {
 		return ""
 	}
 	return fmt.Sprintf(" for AP %d", ap)
+}
+
+// cmdVerify replays a recorded stream through the regulatory
+// invariant checker. Exit status: 0 when the stream is clean, 1 on
+// the first violation (printed with its stream index) or on a stream
+// that cannot be decoded — a torn evidence file is an audit failure,
+// not a pass.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	deadline := fs.Duration("deadline", 0, "evacuation deadline (default: the ETSI minute)")
+	slack := fs.Duration("slack", 0, "cross-clock slack for the incumbent rule (max per-AP skew)")
+	all := fs.Bool("all", false, "print every retained violation, not just the first")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: want exactly one trace file")
+	}
+	recs, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c := &invariant.Checker{Deadline: *deadline, Slack: *slack}
+	c.Feed(recs)
+	if v := c.First(); v != nil {
+		if *all {
+			for _, vi := range c.Violations() {
+				fmt.Printf("VIOLATION %s\n", vi)
+			}
+			if c.Total() > len(c.Violations()) {
+				fmt.Printf("... %d further violations not retained\n", c.Total()-len(c.Violations()))
+			}
+		} else {
+			fmt.Printf("VIOLATION %s\n", v)
+		}
+		return fmt.Errorf("verify: %d record(s) violate the regulatory catalog (first at index %d)",
+			c.Total(), v.Index)
+	}
+	fmt.Printf("OK %d records, 0 violations\n", c.Records())
+	return nil
 }
 
 // cmdDiff compares two streams and exits nonzero at the first

@@ -121,11 +121,17 @@ func main() {
 	mux.Handle("/paws", endpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		now := time.Now()
+		occ := db.Leases().Occupancy(now)
+		m := db.Snapshot(now)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"status":        "ok",
-			"incumbents":    reg.IncumbentCount(),
-			"active_leases": db.Leases().Active(now),
+			"status":         "ok",
+			"incumbents":     reg.IncumbentCount(),
+			"active_leases":  occ.Total,
+			"snapshot_epoch": db.SnapshotEpoch(),
+			"registry_epoch": reg.Epoch(),
+			"cache_hit_rate": m.CacheHitRate,
+			"lease_shards":   occ,
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cellfi/internal/faults"
+	"cellfi/internal/runner"
+	"cellfi/internal/trace"
+)
+
+func outageBoth() []faults.Window {
+	return []faults.Window{{From: 60 * time.Second, To: 220 * time.Second}}
+}
+
+type capture struct {
+	recs []trace.Record
+}
+
+func (c *capture) Record(r trace.Record) { c.recs = append(c.recs, r) }
+
+// TestMatrixAsCampaign runs a slice of the chaos matrix through the
+// runner with the campaign-level invariant watchdog on, proving the
+// two layers compose: the world's stream reaches the runner's checker
+// and clean worlds yield clean runs.
+func TestMatrixAsCampaign(t *testing.T) {
+	specs := Matrix(8, Config{Steps: 120, MaxSkew: time.Second})
+	rep := runner.Run(context.Background(), "chaos-matrix", specs,
+		runner.Options{Invariants: true})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	results, err := runner.Values[Result](rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx int64
+	for _, r := range results {
+		tx += r.TxRecords
+	}
+	if tx == 0 {
+		t.Fatal("campaign worlds never transmitted")
+	}
+	for i := range rep.Runs {
+		if rep.Runs[i].InvariantViolations != 0 {
+			t.Fatalf("run %d: campaign checker flagged %d violations (%s)",
+				i, rep.Runs[i].InvariantViolations, rep.Runs[i].InvariantRecord)
+		}
+		if rep.Runs[i].InvariantRecords == 0 {
+			t.Fatalf("run %d: campaign checker saw no records — stream not wired", i)
+		}
+	}
+}
+
+// TestBrokenGateFailsCampaign: the same broken-selector world, run as
+// a campaign member, must land as a failed run whose telemetry names
+// the rule and the first violating record.
+func TestBrokenGateFailsCampaign(t *testing.T) {
+	cfg := Config{
+		Seed:        1,
+		APs:         3,
+		Steps:       260,
+		BreakVacate: true,
+	}
+	cfg.PrimaryOutages = outageBoth()
+	cfg.ReplicaOutages = outageBoth()
+	rep := runner.Run(context.Background(), "chaos-broken", []runner.Spec{Spec("broken", cfg)},
+		runner.Options{Invariants: true})
+	run := rep.Runs[0]
+	if run.Status != runner.StatusFailed {
+		t.Fatalf("broken world run status = %q, want failed", run.Status)
+	}
+	if run.InvariantRule != "tx-past-vacate-budget" {
+		t.Fatalf("telemetry rule = %q, want tx-past-vacate-budget (err: %s)", run.InvariantRule, run.Err)
+	}
+	if run.InvariantRecord == "" || run.InvariantViolations == 0 {
+		t.Fatalf("telemetry missing violation details: %+v", run)
+	}
+}

@@ -237,6 +237,115 @@ func TestETSIVacatePropertyLongSchedule(t *testing.T) {
 	}
 }
 
+// popUpRaceTransport stages the tightest incumbent pop-up race the
+// protocol allows: when armed, it lets the server render its answer
+// from the pre-incumbent registry, then drops a wireless mic onto the
+// AP's channel while those stale bytes are still "in flight" back to
+// the client — and severs the database so no later poll can deliver
+// the withdrawal. Only the ETSI budget can save the invariant.
+type popUpRaceTransport struct {
+	inner   http.RoundTripper
+	reg     *spectrum.Registry
+	now     func() time.Time
+	armed   bool
+	dead    bool
+	victim  int
+	arrival time.Time
+}
+
+func (p *popUpRaceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if p.dead {
+		return nil, fmt.Errorf("database unreachable after pop-up")
+	}
+	resp, err := p.inner.RoundTrip(req)
+	if err == nil && p.armed {
+		p.armed, p.dead = false, true
+		p.arrival = p.now()
+		if aerr := p.reg.AddIncumbent(spectrum.Incumbent{
+			Kind: spectrum.WirelessMic, Channel: p.victim,
+			Location: geo.Point{X: 5, Y: 5}, ProtectRadius: 1e7,
+			From: p.arrival, To: p.arrival.Add(10 * time.Minute),
+		}); aerr != nil {
+			return nil, fmt.Errorf("pop-up injection: %w", aerr)
+		}
+	}
+	return resp, err
+}
+
+// TestIncumbentPopUpDuringRenewal is the lease-FSM race-window case:
+// an incumbent arrives while a renewal answer is in flight, so the
+// renewal "succeeds" with a stale grant of a now-occupied channel and
+// the database goes dark before any poll can reveal the withdrawal.
+// The selector must still cease transmission within VacateDeadline of
+// the arrival — the stale contact is the last contact, so the ETSI
+// budget expires exactly one deadline after the race.
+func TestIncumbentPopUpDuringRenewal(t *testing.T) {
+	reg := spectrum.NewRegistry(spectrum.EU)
+	reg.LeaseDuration = 90 * time.Second // looser than the budget: the ETSI minute must bind
+
+	vnow := t0
+	srv := paws.NewServer(reg)
+	srv.Now = func() time.Time { return vnow }
+
+	race := &popUpRaceTransport{
+		inner: faults.HandlerTransport{Handler: srv},
+		reg:   reg,
+		now:   func() time.Time { return vnow },
+	}
+	cl := paws.NewClient("http://pawsdb.virtual/paws", "AP-RACE-1")
+	cl.HTTPClient = &http.Client{Transport: race}
+	cl.Retry = paws.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Seed:        1,
+		Sleep:       func(d time.Duration) { vnow = vnow.Add(d) },
+	}
+
+	sel := NewChannelSelector(cl, geo.Point{X: 5, Y: 5}, 15)
+	vnow = vnow.Add(time.Second)
+	if act, err := sel.Refresh(vnow); err != nil || act != Acquired {
+		t.Fatalf("initial acquire: act=%v err=%v", act, err)
+	}
+	race.victim = sel.Current().Channel
+
+	// Arm the race: the NEXT renewal poll carries the pop-up.
+	race.armed = true
+	vnow = vnow.Add(time.Second)
+	if act, err := sel.Refresh(vnow); err != nil || act != NoChange {
+		t.Fatalf("raced renewal: act=%v err=%v", act, err)
+	}
+	if race.arrival.IsZero() {
+		t.Fatal("race never fired: renewal exchange did not reach the transport")
+	}
+	// The stale answer really did land: the selector holds a "valid"
+	// lease on an occupied channel, with no way to hear otherwise.
+	if sel.State() != StateGranted || !sel.TransmitAllowed(vnow) {
+		t.Fatalf("stale renewal rejected early: state=%v — race window not exercised", sel.State())
+	}
+
+	lastTX := time.Time{}
+	for step := 0; step < 300 && sel.State() != StateVacated; step++ {
+		vnow = vnow.Add(time.Second)
+		sel.Refresh(vnow)
+		if sel.TransmitAllowed(vnow) {
+			lastTX = vnow
+		}
+	}
+	if sel.State() != StateVacated {
+		t.Fatalf("selector never vacated after pop-up; state=%v", sel.State())
+	}
+	if lastTX.IsZero() {
+		t.Fatal("no transmission after the race; window was vacuous")
+	}
+	if over := lastTX.Sub(race.arrival); over > VacateDeadline {
+		t.Fatalf("transmitted %v past incumbent arrival (budget %v)", over, VacateDeadline)
+	}
+	if st := sel.Stats(); st.Vacated != 1 || st.GraceEntries == 0 {
+		t.Fatalf("expected one grace-then-vacate after the blackout: %+v", st)
+	}
+}
+
 // TestChaosDeterminism: the harness is byte-deterministic — the same
 // seed yields the identical schedule, transition log and counters.
 func TestChaosDeterminism(t *testing.T) {

@@ -175,6 +175,11 @@ func (s *ChannelSelector) TransmitAllowed(now time.Time) bool {
 	if s.current == nil || s.state == StateVacated || s.state == StateAcquiring {
 		return false
 	}
+	if s.UnsafeIgnoreVacateBudget {
+		// Broken-gate mode: hold the channel regardless of budget or
+		// expiry. The invariant watchdog must flag this.
+		return true
+	}
 	return !now.After(s.VacateBy())
 }
 
@@ -200,6 +205,14 @@ func (s *ChannelSelector) transition(to LeaseState, at time.Time, reason string)
 		}
 		s.Trace.Record(trace.Record{T: at.UnixNano(), AP: s.TraceAP, Kind: trace.KindLease,
 			N: 4, Args: [trace.MaxArgs]int64{int64(tr.From), int64(to), LeaseReasonCode(reason), ch}})
+		// Every entry into Granted follows a successful contact, so the
+		// lease expiry and vacate budget are both fresh here: emit them
+		// as the evidence record the invariant verifier bounds every
+		// later transmission against.
+		if to == StateGranted && s.current != nil {
+			s.Trace.Record(trace.Record{T: at.UnixNano(), AP: s.TraceAP, Kind: trace.KindLeaseBudget,
+				N: 3, Args: [trace.MaxArgs]int64{ch, s.current.Until.UnixNano(), s.VacateBy().UnixNano()}})
+		}
 	}
 	if s.OnTransition != nil {
 		s.OnTransition(tr)

@@ -58,6 +58,23 @@ const maxResponseBytes = 1 << 20
 type Client struct {
 	// URL is the database endpoint.
 	URL string
+	// Endpoints, when non-empty, is an ordered endpoint list — the
+	// primary first, replicas after — and overrides URL. The client
+	// pins the first endpoint until FailoverAfter consecutive
+	// Transient failures, then advances to the next (wrapping), and
+	// probes back toward the primary after the active replica proves
+	// healthy (see PrimaryProbeAfter). Non-transient answers — success,
+	// regulatory denials, fatal RPC errors — count as healthy: the
+	// database answered, the content is someone else's problem.
+	Endpoints []string
+	// FailoverAfter is the consecutive-Transient-failure threshold
+	// that triggers failover; zero means 1 (the ETSI vacate budget is
+	// too tight to burn it re-asking a dead primary).
+	FailoverAfter int
+	// PrimaryProbeAfter is how many consecutive successes on a
+	// non-primary endpoint earn one probe of the primary; zero
+	// means 8. A failed probe just stays on the replica.
+	PrimaryProbeAfter int
 	// HTTPClient overrides the transport. When nil, an owned client
 	// with a 10-second timeout is used (never http.DefaultClient).
 	HTTPClient *http.Client
@@ -81,6 +98,95 @@ type Client struct {
 
 	retryMu  sync.Mutex
 	retryRNG *rand.Rand
+
+	epMu      sync.Mutex
+	epIdx     int
+	epFails   int
+	epOK      int
+	failovers uint64
+}
+
+// failoverAfter / probeAfter apply the documented zero-value defaults.
+func (c *Client) failoverAfter() int {
+	if c.FailoverAfter > 0 {
+		return c.FailoverAfter
+	}
+	return 1
+}
+
+func (c *Client) probeAfter() int {
+	if c.PrimaryProbeAfter > 0 {
+		return c.PrimaryProbeAfter
+	}
+	return 8
+}
+
+// pickEndpoint chooses the URL and endpoint index for one attempt:
+// the active endpoint, or the primary when the active replica has
+// earned a health probe.
+func (c *Client) pickEndpoint() (string, int) {
+	if len(c.Endpoints) == 0 {
+		return c.URL, 0
+	}
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	idx := c.epIdx
+	if idx != 0 && c.epOK >= c.probeAfter() {
+		c.epOK = 0
+		idx = 0 // spend the earned probe on the primary
+	}
+	return c.Endpoints[idx], idx
+}
+
+// endpointResult feeds an attempt's outcome back into the failover
+// state machine. transient means the endpoint itself failed (network,
+// 5xx, torn body); anything the database answered counts as healthy.
+func (c *Client) endpointResult(idx int, transient bool) {
+	if len(c.Endpoints) == 0 {
+		return
+	}
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	switch {
+	case !transient:
+		if idx != c.epIdx {
+			// Primary probe succeeded: fail back.
+			c.epIdx = idx
+		}
+		c.epFails = 0
+		if c.epIdx != 0 {
+			c.epOK++
+		}
+	case idx != c.epIdx:
+		// Failed primary probe; stay on the replica (the probe budget
+		// was already spent in pickEndpoint).
+	default:
+		c.epFails++
+		if c.epFails >= c.failoverAfter() {
+			c.epIdx = (c.epIdx + 1) % len(c.Endpoints)
+			c.epFails, c.epOK = 0, 0
+			c.failovers++
+		}
+	}
+}
+
+// ActiveEndpoint returns the endpoint the next call will use (modulo
+// a pending primary probe); URL when no endpoint list is configured.
+func (c *Client) ActiveEndpoint() string {
+	if len(c.Endpoints) == 0 {
+		return c.URL
+	}
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.Endpoints[c.epIdx]
+}
+
+// Failovers returns how many times the client advanced to another
+// endpoint after exhausting the failure threshold.
+func (c *Client) Failovers() uint64 {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.failovers
 }
 
 // jitterU draws from the client's seeded jitter stream, creating it on
@@ -128,10 +234,14 @@ func (c *Client) call(method string, params, result any) error {
 		attempts = c.Retry.MaxAttempts
 	}
 	var last *Error
+	lastEp := 0
 	for attempt := 1; attempt <= attempts; attempt++ {
-		last = c.callOnce(method, raw, result)
+		url, epIdx := c.pickEndpoint()
+		lastEp = epIdx
+		last = c.callOnce(method, url, raw, result)
+		c.endpointResult(epIdx, last != nil && last.Class == Transient)
 		if last == nil {
-			c.traceQuery(method, -1, attempt)
+			c.traceQuery(method, -1, attempt, epIdx)
 			return nil
 		}
 		last.Attempts = attempt
@@ -140,13 +250,15 @@ func (c *Client) call(method string, params, result any) error {
 		}
 		c.Retry.sleep(c.Retry.backoff(attempt, c.jitterU()))
 	}
-	c.traceQuery(method, int64(last.Class), last.Attempts)
+	c.traceQuery(method, int64(last.Class), last.Attempts, lastEp)
 	return last
 }
 
 // traceQuery emits one paws-query record for a completed call; class
-// is -1 on success, the ErrorClass otherwise.
-func (c *Client) traceQuery(method string, class int64, attempts int) {
+// is -1 on success, the ErrorClass otherwise. With an endpoint list
+// configured the record grows a fourth arg: the endpoint index that
+// served the final attempt (0 = primary).
+func (c *Client) traceQuery(method string, class int64, attempts, endpoint int) {
 	if c.Trace == nil {
 		return
 	}
@@ -156,13 +268,18 @@ func (c *Client) traceQuery(method string, class int64, attempts int) {
 	} else {
 		t = time.Now().UnixNano()
 	}
-	c.Trace.Record(trace.Record{T: t, AP: c.TraceAP, Kind: trace.KindPAWSQuery,
-		N: 3, Args: [trace.MaxArgs]int64{methodCode(method), class, int64(attempts)}})
+	rec := trace.Record{T: t, AP: c.TraceAP, Kind: trace.KindPAWSQuery,
+		N: 3, Args: [trace.MaxArgs]int64{methodCode(method), class, int64(attempts)}}
+	if len(c.Endpoints) > 0 {
+		rec.N = 4
+		rec.Args[3] = int64(endpoint)
+	}
+	c.Trace.Record(rec)
 }
 
-// callOnce performs a single HTTP exchange. It returns nil on success
-// and a classified *Error otherwise.
-func (c *Client) callOnce(method string, params json.RawMessage, result any) *Error {
+// callOnce performs a single HTTP exchange against url. It returns
+// nil on success and a classified *Error otherwise.
+func (c *Client) callOnce(method, url string, params json.RawMessage, result any) *Error {
 	fail := func(class ErrorClass, err error) *Error {
 		return &Error{Method: method, Class: class, Err: err}
 	}
@@ -186,7 +303,7 @@ func (c *Client) callOnce(method string, params json.RawMessage, result any) *Er
 		ctx, cancel = context.WithTimeout(ctx, c.CallTimeout)
 		defer cancel()
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return fail(Fatal, fmt.Errorf("build request: %w", err))
 	}

@@ -73,6 +73,18 @@ func (db *DB) Leases() *LeaseStore { return db.leases }
 // Metrics exposes the live counters for hot-path updates.
 func (db *DB) Metrics() *Metrics { return &db.met }
 
+// SnapshotEpoch reports the incumbent-set epoch the currently served
+// (index, cache) snapshot was built from, or -1 before the first
+// query forces a build. A health probe comparing it against
+// Registry().Epoch() can tell a stale snapshot from a fresh one
+// without paying for a rebuild.
+func (db *DB) SnapshotEpoch() int64 {
+	if s := db.snap.Load(); s != nil {
+		return s.epoch
+	}
+	return -1
+}
+
 // Lock and Unlock guard external registry mutation while the DB is
 // serving (the paws.Server Lock/Unlock contract). Queries running
 // concurrently with a held lock serve the previous snapshot until the

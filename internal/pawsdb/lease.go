@@ -188,3 +188,40 @@ func (s *LeaseStore) Active(now time.Time) int {
 	}
 	return n
 }
+
+// Occupancy summarizes how leases spread across the store's shards —
+// the health-probe view of hash balance. A Max far above Total/Shards
+// means one shard is serializing grants (hot serial prefix or a bad
+// hash); Occupied counts shards holding at least one unexpired lease.
+type Occupancy struct {
+	Shards   int `json:"shards"`
+	Occupied int `json:"occupied"`
+	Max      int `json:"max_per_shard"`
+	Total    int `json:"total"`
+}
+
+// Occupancy walks every shard at now, advancing wheels the same way
+// Active does, and reports the distribution of unexpired leases.
+func (s *LeaseStore) Occupancy(now time.Time) Occupancy {
+	o := Occupancy{Shards: leaseShards}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		s.advance(sh, now)
+		n := 0
+		for _, l := range sh.m {
+			if l.until.After(now) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+		if n > 0 {
+			o.Occupied++
+		}
+		if n > o.Max {
+			o.Max = n
+		}
+		o.Total += n
+	}
+	return o
+}

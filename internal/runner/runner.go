@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"cellfi/internal/invariant"
 	"cellfi/internal/sim"
 	"cellfi/internal/trace"
 )
@@ -71,6 +72,9 @@ type Ctx struct {
 	traceRing *trace.Ring
 	tracePath string
 	traceErr  error
+
+	checker *invariant.Checker
+	rec     trace.Recorder
 }
 
 // Context returns the campaign's cancellation context.
@@ -93,7 +97,7 @@ func (c *Ctx) Engine(seed int64) *sim.Engine {
 	e := sim.NewEngine(seed)
 	c.mu.Lock()
 	c.engines = append(c.engines, e)
-	if r := c.ringLocked(); r != nil {
+	if r := c.recorderLocked(); r != nil {
 		e.SetRecorder(r)
 	}
 	c.mu.Unlock()
@@ -101,21 +105,44 @@ func (c *Ctx) Engine(seed int64) *sim.Engine {
 }
 
 // Recorder returns the run's flight recorder, or nil when the campaign
-// does not capture traces (Options.TraceDir empty, or the trace file
-// could not be opened — the failure is reported in the run's result).
-// The recorder spills to <TraceDir>/run<index>-<label>.trace; the file
-// is flushed and closed after the scenario finishes, and its path lands
-// in RunResult.TracePath.
+// neither captures traces (Options.TraceDir) nor verifies invariants
+// (Options.Invariants). With capture on, records spill to
+// <TraceDir>/run<index>-<label>.trace; the file is flushed and closed
+// after the scenario finishes, and its path lands in
+// RunResult.TracePath. With invariants on, the same stream feeds an
+// online invariant.Checker whose verdict lands in the result (a
+// violation fails the run); both together tee the stream.
 //
 // The returned recorder is not synchronized: scenarios that spawn
 // goroutines must record from a single one.
 func (c *Ctx) Recorder() trace.Recorder {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if r := c.ringLocked(); r != nil {
-		return r
+	return c.recorderLocked()
+}
+
+// recorderLocked composes the run's record sink from the invariant
+// checker and/or the spill ring, caching the result. Callers hold
+// c.mu. A nil return means neither capture nor verification is on.
+func (c *Ctx) recorderLocked() trace.Recorder {
+	if c.rec != nil {
+		return c.rec
 	}
-	return nil
+	ring := c.ringLocked()
+	if c.opts != nil && c.opts.Invariants && c.checker == nil {
+		c.checker = &invariant.Checker{Slack: c.opts.InvariantSlack}
+	}
+	switch {
+	case c.checker != nil:
+		var next trace.Recorder
+		if ring != nil {
+			next = ring
+		}
+		c.rec = c.checker.Tee(next)
+	case ring != nil:
+		c.rec = ring
+	}
+	return c.rec
 }
 
 // ringLocked lazily opens the spill file and ring. Callers hold c.mu.
@@ -183,6 +210,31 @@ func (c *Ctx) closeTrace(res *RunResult) {
 	}
 }
 
+// closeInvariants publishes the online checker's verdict: record
+// count always, and on any violation the rule, the first violating
+// record and the total — failing an otherwise-successful run. A
+// regulatory violation must never hide behind a green campaign.
+func (c *Ctx) closeInvariants(res *RunResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.checker == nil {
+		return
+	}
+	res.InvariantRecords = int64(c.checker.Records())
+	v := c.checker.First()
+	if v == nil {
+		return
+	}
+	res.InvariantViolations = c.checker.Total()
+	res.InvariantRule = v.Rule
+	res.InvariantIndex = v.Index
+	res.InvariantRecord = v.Rec.String()
+	if res.Status == StatusOK {
+		res.Status = StatusFailed
+		res.Err = c.checker.Err().Error()
+	}
+}
+
 // Track registers an externally constructed engine for telemetry.
 func (c *Ctx) Track(e *sim.Engine) {
 	c.mu.Lock()
@@ -243,6 +295,16 @@ type Options struct {
 	// TraceRing caps the per-run in-memory record buffer before a
 	// spill; <= 0 uses trace.DefaultRingSize.
 	TraceRing int
+	// Invariants, when true, attaches an online regulatory verifier
+	// (invariant.Checker) to every run's record stream — everything a
+	// scenario emits through Ctx.Recorder or a Ctx.Engine flight
+	// recorder is checked as it is written. A violation fails the run
+	// and its details land in the RunResult (invariant_* JSON fields).
+	// Works with or without TraceDir.
+	Invariants bool
+	// InvariantSlack widens the checker's cross-clock incumbent rule;
+	// set it to the scenario's maximum per-AP clock skew.
+	InvariantSlack time.Duration
 }
 
 // Run executes the campaign and returns its report. It blocks until
@@ -363,4 +425,5 @@ func runOne(ctx context.Context, s *Spec, i int, res *RunResult, opts *Options) 
 	res.WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	c.collect(res)
 	c.closeTrace(res)
+	c.closeInvariants(res)
 }

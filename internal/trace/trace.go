@@ -87,8 +87,31 @@ const (
 	KindLease
 	// KindPAWSQuery: a PAWS JSON-RPC call completed (after in-call
 	// retries). Args: method code (PAWSMethod*), error class (-1 =
-	// success, else paws.ErrorClass), attempts.
+	// success, else paws.ErrorClass), attempts, and — when the client
+	// runs with an ordered endpoint list — the endpoint index that
+	// served the final attempt (0 = primary).
 	KindPAWSQuery
+	// KindLeaseBudget: the regulatory transmit budget after a
+	// successful database contact (emitted by the lease FSM alongside
+	// every transition into Granted). Args: channel, lease expiry
+	// (ns), vacate-by instant (ns) = min(expiry, contact + deadline).
+	// The invariant verifier replays these to bound every later
+	// transmission.
+	KindLeaseBudget
+	// KindRadioTX: the access point's radio was on the air. Args:
+	// channel. Scenario harnesses emit one per AP per step while the
+	// radio gate is open; it is the transmission evidence the
+	// regulatory invariants are checked against.
+	KindRadioTX
+	// KindIncumbent: a primary user arrived on or departed from a
+	// channel whose protection contour covers the whole scenario
+	// world (wireless-mic storms). Args: channel, 1 = arrive / 0 =
+	// depart, incumbent kind (spectrum.IncumbentKind). AP is -1.
+	KindIncumbent
+	// KindAPLife: an access point crashed (args[0] = 0) or restarted
+	// cold (args[0] = 1). A crash wipes the radio and lease state; the
+	// verifier resets its per-AP model accordingly.
+	KindAPLife
 )
 
 // Wi-Fi frame kind codes for KindWifiTX args[0].
@@ -132,6 +155,10 @@ var kindNames = map[Kind]string{
 	KindIMHop:       "im-hop",
 	KindLease:       "lease",
 	KindPAWSQuery:   "paws-query",
+	KindLeaseBudget: "lease-budget",
+	KindRadioTX:     "radio-tx",
+	KindIncumbent:   "incumbent",
+	KindAPLife:      "ap-life",
 }
 
 // String returns the stable dump/filter name of the kind.

@@ -39,6 +39,16 @@ if [ "${VERIFY_CHAOS:-0}" = "1" ]; then
 	make chaos
 fi
 
+# Optional invariant stage: VERIFY_INVARIANTS=1 runs the world-level
+# chaos matrix (crash x storm x failover x skew) with the online
+# regulatory watchdog attached, plus the checker's own unit suite,
+# under the race detector. Scale with CHAOS_WORLD_SEEDS /
+# CHAOS_WORLD_STEPS (or use `make chaos-soak` for the 100-seed form).
+if [ "${VERIFY_INVARIANTS:-0}" = "1" ]; then
+	echo "== go test -race (chaos worlds + invariant watchdog)"
+	go test -race ./internal/chaos ./internal/invariant
+fi
+
 # Optional bench stage: VERIFY_BENCH=1 re-measures engine dispatch
 # throughput and fails on a >10% regression versus the committed
 # BENCH_sim.json baseline. Opt-in because benchmarks are noisy on
