@@ -49,7 +49,8 @@ fuzz-short:
 # propagation link cache, and the runner fleet.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 100ms -run '^$$' \
-		./internal/sim ./internal/propagation ./internal/wifi ./internal/lte ./internal/runner
+		./internal/sim ./internal/propagation ./internal/wifi ./internal/lte \
+		./internal/runner ./internal/geo ./internal/stats ./internal/metro
 
 # Regenerate the committed engine benchmark artifact (also enforces
 # 0 allocs/op on Schedule+fire and the >=2x speedup floor).
@@ -71,6 +72,13 @@ BENCH_trace.json: FORCE
 # and a bounded p99 under a scripted database outage).
 BENCH_paws.json: FORCE
 	PAWS_BENCH_OUT=$(CURDIR)/BENCH_paws.json $(GO) test -run TestPAWSBenchArtifact -count 1 -v .
+
+# Regenerate the committed city-scale baseline: the examples/metro
+# scenario (2,000 APs / 100k UEs, one diurnal cycle) single-threaded.
+# Enforces faster-than-real-time, 0 allocs/op on the grid query and the
+# steady-state metro epoch, and indexed-beats-brute SINR at N=1000.
+BENCH_city.json: FORCE
+	CITY_BENCH_OUT=$(CURDIR)/BENCH_city.json $(GO) test -run TestCityBenchArtifact -count 1 -v -timeout 20m .
 
 FORCE:
 

@@ -1,0 +1,210 @@
+// BENCH_city.json writer: regenerates the committed city-scale
+// baseline when CITY_BENCH_OUT is set (see `make BENCH_city.json`).
+// It runs the examples/metro headline scenario — 2,000 APs, 100k UEs,
+// one compressed diurnal cycle — single-threaded and enforces the
+// scale contract: the city simulates faster than real time, the
+// spatial-index neighborhood query is 0 allocs/op, the metro epoch
+// sweep is allocation-free in steady state, and the indexed SINR path
+// beats the brute truncated scan at N=1000 APs.
+package cellfi_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/metro"
+)
+
+// cityBenchArtifact is the schema of BENCH_city.json. Top-level
+// scalars are what scripts/benchdiff.sh gates on.
+type cityBenchArtifact struct {
+	Generated   time.Time `json:"generated"`
+	GoMaxProcs  int       `json:"go_max_procs"`
+	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	Description string    `json:"description"`
+
+	CityAPs    int `json:"city_aps"`
+	CityUEs    int `json:"city_ues"`
+	CityEpochs int `json:"city_epochs"`
+	// The headline gate: simulated seconds per wall second for the full
+	// diurnal cycle, single-threaded. Must exceed 1.
+	SimRealtimeFactor float64 `json:"sim_realtime_factor"`
+	CityBuildMS       float64 `json:"city_build_ms"`
+	CitySimWallMS     float64 `json:"city_sim_wall_ms"`
+	CityAttachedMean  float64 `json:"city_attached_mean"`
+	CityAttachedPeak  float64 `json:"city_attached_peak"`
+	CityUEMbpsP50     float64 `json:"city_ue_mbps_p50"`
+	CityHeapSysMB     float64 `json:"city_heap_sys_mb"`
+
+	// GridQuery is one geo.Grid.AppendWithin over the metro AP field —
+	// must be 0 allocs/op (the index query contract).
+	GridQuery benchResult `json:"grid_query"`
+	// MetroEpoch is one steady-state city epoch (~60k attached UEs).
+	MetroEpoch benchResult `json:"metro_epoch"`
+	// The O(N) vs O(neighborhood) contrast on the LTE SINR path at
+	// 1000 cells, same world, same significance radius.
+	LTESINRBruteN1000   benchResult `json:"lte_sinr_brute_n1000"`
+	LTESINRIndexedN1000 benchResult `json:"lte_sinr_indexed_n1000"`
+	LTEIndexedSpeedup   float64     `json:"lte_indexed_speedup"`
+}
+
+func benchCityGridQuery(b *testing.B) {
+	cfg := metro.DefaultCity(1)
+	rng := rand.New(rand.NewSource(7))
+	area := geo.Rect{MinX: 0, MinY: 0, MaxX: cfg.AreaW, MaxY: cfg.AreaH}
+	g := geo.NewGrid(area, cfg.RadiusM)
+	pts := geo.MinSpacedPoints(rng, area, cfg.NAPs, cfg.APSpacingM)
+	for i, p := range pts {
+		g.Insert(int32(i), p)
+	}
+	probes := area.RandomPoints(rng, 1024)
+	scratch := make([]int32, 0, 256)
+	scratch = g.AppendWithin(scratch[:0], probes[0], cfg.RadiusM) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = g.AppendWithin(scratch[:0], probes[i&1023], cfg.RadiusM)
+	}
+	_ = scratch
+}
+
+func benchMetroEpochCity(b *testing.B) {
+	cfg := metro.DefaultCity(1)
+	w := metro.New(cfg)
+	w.Run(cfg.DayEpochs / 2) // warm into the mid-day plateau
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+// cityLTEWorld builds the 1000-cell density-scaled world shared by the
+// brute/indexed SINR benches.
+func cityLTEWorld() (*lte.Environment, geo.Rect, []*lte.Cell, []*lte.Client) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(42))
+	area := geo.Square(300 * math.Sqrt(n))
+	env := lte.NewEnvironment(42)
+	cells := make([]*lte.Cell, n)
+	for i := range cells {
+		cells[i] = &lte.Cell{
+			ID: i, Pos: area.RandomPoint(rng), TxPowerDBm: 30,
+			BW: lte.BW5MHz, Activity: lte.FullBuffer,
+		}
+	}
+	clients := make([]*lte.Client, 8)
+	for i := range clients {
+		clients[i] = &lte.Client{ID: n + i, Pos: area.RandomPoint(rng), TxPowerDBm: 20}
+	}
+	return env, area, cells, clients
+}
+
+func benchCityLTESINR(indexed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		env, area, cells, clients := cityLTEWorld()
+		var nb *lte.Neighbors
+		if indexed {
+			nb = lte.NewNeighbors(cells, area, 650)
+		} else {
+			nb = lte.BruteNeighbors(cells, 650)
+		}
+		for ci, cl := range clients { // warm the rx memo
+			for sc := 0; sc < lte.BW5MHz.Subchannels(); sc++ {
+				env.DownlinkSINRNear(cells[ci%len(cells)], nb, cl, sc, 0)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl := clients[i%len(clients)]
+			env.DownlinkSINRNear(cells[i%len(cells)], nb, cl, i%4, 0)
+		}
+	}
+}
+
+// TestCityBenchArtifact regenerates BENCH_city.json when CITY_BENCH_OUT
+// is set. Fails if the city is not faster than real time, if the grid
+// query or steady-state metro epoch allocates, or if the indexed SINR
+// path does not beat the brute scan at N=1000.
+func TestCityBenchArtifact(t *testing.T) {
+	out := os.Getenv("CITY_BENCH_OUT")
+	if out == "" {
+		t.Skip("set CITY_BENCH_OUT to write BENCH_city.json")
+	}
+
+	cfg := metro.DefaultCity(1)
+	epochs := cfg.DayEpochs // one full diurnal cycle
+	buildStart := time.Now()
+	w := metro.New(cfg)
+	buildWall := time.Since(buildStart)
+	simStart := time.Now()
+	w.Run(epochs)
+	simWall := time.Since(simStart)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	art := cityBenchArtifact{
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Description: fmt.Sprintf("City-scale single-world baseline: the examples/metro scenario "+
+			"(%d APs, %d UEs, %.0f km², one %d-epoch diurnal cycle) driven single-threaded "+
+			"through the geo.Grid interference index with SoA UE state and streaming stats. "+
+			"sim_realtime_factor > 1 is the enforced scale gate; grid_query and metro_epoch "+
+			"must stay 0 allocs/op; lte_sinr_indexed_n1000 must beat the brute truncated scan.",
+			cfg.NAPs, cfg.NUEs, cfg.AreaW*cfg.AreaH/1e6, epochs),
+		CityAPs:           cfg.NAPs,
+		CityUEs:           cfg.NUEs,
+		CityEpochs:        epochs,
+		SimRealtimeFactor: float64(epochs) / simWall.Seconds(),
+		CityBuildMS:       float64(buildWall) / float64(time.Millisecond),
+		CitySimWallMS:     float64(simWall) / float64(time.Millisecond),
+		CityAttachedMean:  w.Attached.Mean(),
+		CityAttachedPeak:  w.Attached.Max(),
+		CityUEMbpsP50:     w.ThroughputQ.Quantile(0.5),
+		CityHeapSysMB:     float64(ms.HeapSys) / (1 << 20),
+
+		GridQuery:           toResult(testing.Benchmark(benchCityGridQuery)),
+		MetroEpoch:          toResult(testing.Benchmark(benchMetroEpochCity)),
+		LTESINRBruteN1000:   toResult(testing.Benchmark(benchCityLTESINR(false))),
+		LTESINRIndexedN1000: toResult(testing.Benchmark(benchCityLTESINR(true))),
+	}
+	if art.LTESINRIndexedN1000.NsPerOp > 0 {
+		art.LTEIndexedSpeedup = art.LTESINRBruteN1000.NsPerOp / art.LTESINRIndexedN1000.NsPerOp
+	}
+
+	if art.SimRealtimeFactor <= 1 {
+		t.Errorf("city simulates at %.2fx real time, want > 1x", art.SimRealtimeFactor)
+	}
+	if art.GridQuery.AllocsPerOp != 0 {
+		t.Errorf("grid query allocates %d allocs/op, want 0", art.GridQuery.AllocsPerOp)
+	}
+	if art.MetroEpoch.AllocsPerOp != 0 {
+		t.Errorf("steady-state metro epoch allocates %d allocs/op, want 0",
+			art.MetroEpoch.AllocsPerOp)
+	}
+	if art.LTEIndexedSpeedup <= 1 {
+		t.Errorf("indexed SINR at N=1000 is not faster than brute (%.2fx)", art.LTEIndexedSpeedup)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.1fx real time, grid query %.0f ns/op, indexed SINR %.1fx faster",
+		out, art.SimRealtimeFactor, art.GridQuery.NsPerOp, art.LTEIndexedSpeedup)
+}

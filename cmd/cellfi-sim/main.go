@@ -7,6 +7,7 @@
 //	cellfi-sim [-scheme cellfi|lte|oracle] [-aps 14] [-clients 6]
 //	           [-epochs 30] [-seed 1] [-area 2000]
 //	           [-no-packing] [-perfect-sensing] [-lambda 10]
+//	           [-interference-radius 800]
 //	           [-trials 1] [-workers N] [-trace-dir DIR]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
@@ -43,6 +44,8 @@ func main() {
 	noPacking := flag.Bool("no-packing", false, "disable the channel re-use heuristic")
 	perfect := flag.Bool("perfect-sensing", false, "disable the measured sensing error injection")
 	lambda := flag.Float64("lambda", 10, "hopping bucket mean")
+	ifRadius := flag.Float64("interference-radius", 0,
+		"interference-significance radius (m): truncate interference beyond this range and resolve neighborhoods through the spatial index (0 = exact all-pairs)")
 	trials := flag.Int("trials", 1, "independent topologies to run")
 	workers := flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace-dir", "", "flight-record each trial into this directory (must exist)")
@@ -88,6 +91,10 @@ func main() {
 				cfg.PackingEnabled = !*noPacking
 				cfg.PerfectSensing = *perfect
 				cfg.Lambda = *lambda
+				if *ifRadius > 0 {
+					cfg.InterferenceRadiusM = *ifRadius
+					cfg.UseSpatialIndex = true
+				}
 				cfg.Trace = c.Recorder()
 
 				n := netsim.New(tp, cfg)

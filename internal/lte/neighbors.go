@@ -1,0 +1,98 @@
+package lte
+
+import (
+	"cellfi/internal/geo"
+	"cellfi/internal/propagation"
+)
+
+// Neighbors is an interference neighborhood over a dense cell slice:
+// the set of cells whose downlink energy can matter at a receiver,
+// bounded by the interference-significance radius (see
+// propagation.Model.InterferenceRadius). With a spatial Source attached
+// a SINR query scans only the cells near the client; with Source nil it
+// scans every cell and applies the same distance truncation — the
+// brute-force reference the equivalence tests compare against.
+//
+// The truncation model is identical on both paths (inclusive squared
+// distance against the grid's stored positions), and both visit
+// surviving cells in ascending slice order, so the interference
+// denominator sums in the same float order and the two paths are
+// bit-identical.
+type Neighbors struct {
+	// Cells is the dense cell table; index i is the spatial-index id.
+	Cells []*Cell
+	// RadiusM is the significance radius in metres.
+	RadiusM float64
+	// Source enumerates nearby cell indices; nil selects the truncated
+	// full scan.
+	Source propagation.NeighborSource
+
+	scratch []int32
+}
+
+// NewNeighbors indexes cells on a grid bucketed at the significance
+// radius. Cells that move afterwards must be re-indexed with Move.
+func NewNeighbors(cells []*Cell, bounds geo.Rect, radiusM float64) *Neighbors {
+	g := geo.NewGrid(bounds, radiusM)
+	for i, c := range cells {
+		g.Insert(int32(i), c.Pos)
+	}
+	return &Neighbors{Cells: cells, RadiusM: radiusM, Source: g}
+}
+
+// BruteNeighbors returns the reference neighborhood: no index, every
+// SINR query scans all cells and truncates by distance.
+func BruteNeighbors(cells []*Cell, radiusM float64) *Neighbors {
+	return &Neighbors{Cells: cells, RadiusM: radiusM}
+}
+
+// Move re-indexes cell i after its Pos changed. The caller owns the
+// matching Environment.Invalidate call (the grid only answers "who is
+// near", never "how loud").
+func (nb *Neighbors) Move(i int) {
+	if g, ok := nb.Source.(*geo.Grid); ok {
+		g.Move(int32(i), nb.Cells[i].Pos)
+	}
+}
+
+// DownlinkSINRNear is DownlinkSINR with the interferer set drawn from
+// the neighborhood instead of a caller-supplied slice: only cells
+// within nb.RadiusM of the client contribute to the denominator. The
+// serving cell is excluded regardless of distance.
+func (e *Environment) DownlinkSINRNear(serving *Cell, nb *Neighbors, cl *Client, sc int, tMS int64) float64 {
+	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
+	_, den := e.noise()
+	if nb.Source != nil {
+		nb.scratch = nb.Source.AppendWithin(nb.scratch[:0], cl.Pos, nb.RadiusM)
+		for _, id := range nb.scratch {
+			ic := nb.Cells[id]
+			if ic == serving || !ic.TransmitsIn(sc) {
+				continue
+			}
+			den += e.rxPowerMW(ic, cl.Pos, cl.ID, sc, tMS)
+		}
+	} else {
+		r2 := nb.RadiusM * nb.RadiusM
+		for _, ic := range nb.Cells {
+			if ic == serving || !ic.TransmitsIn(sc) {
+				continue
+			}
+			// Same inclusive squared-distance test the grid applies.
+			dx, dy := ic.Pos.X-cl.Pos.X, ic.Pos.Y-cl.Pos.Y
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			den += e.rxPowerMW(ic, cl.Pos, cl.ID, sc, tMS)
+		}
+	}
+	if !e.memoActive() {
+		return signal - propagation.MWToDBm(den)
+	}
+	// Same denominator memo as DownlinkSINR; keyed on the exact mW sum,
+	// so indexed, truncated and all-pairs calls can interleave safely.
+	ent := rxProbe(e.rxTab, propagation.LinkID(serving.ID, cl.ID), int32(sc))
+	if ent.denMW != den {
+		ent.denMW, ent.denDB = den, propagation.MWToDBm(den)
+	}
+	return signal - ent.denDB
+}

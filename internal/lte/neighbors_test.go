@@ -1,0 +1,176 @@
+package lte
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/propagation"
+)
+
+// sinrWorld builds a density-scaled interference world: n cells on a
+// square whose side grows with sqrt(n) so the neighborhood population
+// stays roughly constant, a mix of activity levels and subchannel
+// masks, and a handful of clients.
+func sinrWorld(seed int64, n int) (*Environment, geo.Rect, []*Cell, []*Client) {
+	rng := rand.New(rand.NewSource(seed))
+	area := geo.Square(300 * math.Sqrt(float64(n)))
+	env := NewEnvironment(seed)
+	cells := make([]*Cell, n)
+	for i := range cells {
+		c := &Cell{
+			ID:         i,
+			Pos:        area.RandomPoint(rng),
+			TxPowerDBm: 30,
+			Antenna:    propagationSector(rng),
+			BW:         BW5MHz,
+			Activity:   FullBuffer,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			c.Activity = SignallingOnly
+		case 1:
+			c.ActiveSubchannels = map[int]bool{0: true, 2: rng.Intn(2) == 0}
+		}
+		cells[i] = c
+	}
+	clients := make([]*Client, 8)
+	for i := range clients {
+		clients[i] = &Client{ID: n + i, Pos: area.RandomPoint(rng), TxPowerDBm: 20}
+	}
+	return env, area, cells, clients
+}
+
+// propagationSector gives half the cells a sector antenna, half omni.
+func propagationSector(rng *rand.Rand) propagation.Antenna {
+	if rng.Intn(2) == 0 {
+		return propagation.Sector(rng.Float64() * 2 * math.Pi)
+	}
+	return propagation.Antenna{}
+}
+
+// TestDownlinkSINRNearEquivalence pins the determinism contract: the
+// grid-indexed path and the brute-force truncated scan are bit-identical,
+// across seeds, radii, subchannels and coherence blocks — in two
+// independently constructed worlds, so nothing is shared but the seed.
+func TestDownlinkSINRNearEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		envA, area, cellsA, clientsA := sinrWorld(seed, 120)
+		envB, _, cellsB, clientsB := sinrWorld(seed, 120)
+		for _, radius := range []float64{200, 650, 1e6} {
+			nbIdx := NewNeighbors(cellsA, area, radius)
+			nbBrute := BruteNeighbors(cellsB, radius)
+			for ci, cl := range clientsA {
+				serving := cellsA[ci%len(cellsA)]
+				for sc := 0; sc < BW5MHz.Subchannels(); sc++ {
+					for _, tMS := range []int64{0, 50, 150} {
+						a := envA.DownlinkSINRNear(serving, nbIdx, cl, sc, tMS)
+						b := envB.DownlinkSINRNear(cellsB[ci%len(cellsB)], nbBrute, clientsB[ci], sc, tMS)
+						if a != b {
+							t.Fatalf("seed %d radius %g client %d sc %d t %d: indexed %v != brute %v",
+								seed, radius, ci, sc, tMS, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// With the radius covering the whole world, the neighborhood path must
+// also agree bit-for-bit with the historical all-pairs DownlinkSINR.
+func TestDownlinkSINRNearMatchesAllPairs(t *testing.T) {
+	env, area, cells, clients := sinrWorld(3, 80)
+	env2, _, cells2, clients2 := sinrWorld(3, 80)
+	nb := NewNeighbors(cells, area, 1e9)
+	for ci, cl := range clients {
+		serving := cells[ci%len(cells)]
+		for sc := 0; sc < BW5MHz.Subchannels(); sc++ {
+			a := env.DownlinkSINRNear(serving, nb, cl, sc, 0)
+			b := env2.DownlinkSINR(cells2[ci%len(cells2)], cells2, clients2[ci], sc, 0)
+			if a != b {
+				t.Fatalf("client %d sc %d: neighborhood %v != all-pairs %v", ci, sc, a, b)
+			}
+		}
+	}
+}
+
+// Moving a cell must be visible through the index after Move +
+// Invalidate (the two halves of the mobility contract).
+func TestNeighborsMoveReindexes(t *testing.T) {
+	env, area, cells, clients := sinrWorld(5, 60)
+	env2, _, cells2, clients2 := sinrWorld(5, 60)
+	nbIdx := NewNeighbors(cells, area, 650)
+	nbBrute := BruteNeighbors(cells2, 650)
+	rng := rand.New(rand.NewSource(99))
+	rng2 := rand.New(rand.NewSource(99))
+	for step := 0; step < 10; step++ {
+		i := rng.Intn(len(cells))
+		p := area.RandomPoint(rng)
+		cells[i].Pos = p
+		nbIdx.Move(i)
+		env.Invalidate(cells[i].ID)
+		cells2[rng2.Intn(len(cells2))].Pos = area.RandomPoint(rng2)
+		env2.Invalidate(cells2[i].ID)
+		for ci, cl := range clients {
+			serving := cells[(ci+1)%len(cells)]
+			a := env.DownlinkSINRNear(serving, nbIdx, cl, 1, int64(step)*10)
+			b := env2.DownlinkSINRNear(cells2[(ci+1)%len(cells2)], nbBrute, clients2[ci], 1, int64(step)*10)
+			if a != b {
+				t.Fatalf("step %d client %d: indexed %v != brute %v after move", step, ci, a, b)
+			}
+		}
+	}
+}
+
+// The indexed SINR query is the metro inner loop: once the rx memo and
+// the scratch slice have warmed it must not allocate.
+func TestDownlinkSINRNearZeroAllocs(t *testing.T) {
+	env, area, cells, clients := sinrWorld(7, 200)
+	nb := NewNeighbors(cells, area, 650)
+	warm := func() {
+		for ci, cl := range clients {
+			for sc := 0; sc < BW5MHz.Subchannels(); sc++ {
+				env.DownlinkSINRNear(cells[ci%len(cells)], nb, cl, sc, 0)
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("DownlinkSINRNear allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// The O(N) vs O(neighborhood) contrast the spatial index buys, at the
+// three AP scales the regression gate tracks.
+func BenchmarkLTESINR(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		env, area, cells, clients := sinrWorld(42, n)
+		nbIdx := NewNeighbors(cells, area, 650)
+		nbBrute := BruteNeighbors(cells, 650)
+		// Warm the rx memo so both modes measure steady state.
+		for ci, cl := range clients {
+			for sc := 0; sc < BW5MHz.Subchannels(); sc++ {
+				env.DownlinkSINRNear(cells[ci%len(cells)], nbIdx, cl, sc, 0)
+				env.DownlinkSINRNear(cells[ci%len(cells)], nbBrute, cl, sc, 0)
+			}
+		}
+		b.Run(fmt.Sprintf("brute/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := clients[i%len(clients)]
+				env.DownlinkSINRNear(cells[i%len(cells)], nbBrute, cl, i%4, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("indexed/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := clients[i%len(clients)]
+				env.DownlinkSINRNear(cells[i%len(cells)], nbIdx, cl, i%4, 0)
+			}
+		})
+	}
+}

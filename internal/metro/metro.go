@@ -1,0 +1,404 @@
+// Package metro simulates one city-scale CellFi deployment — thousands
+// of access points and 100k+ UEs in a single world — fast enough to
+// outrun the wall clock on one core.
+//
+// The epoch simulator in internal/netsim keeps per-object structs and
+// dense [cells][clients] budget matrices; at 2,000 APs x 100k UEs that
+// matrix alone is gigabytes and every epoch walks it. This package
+// restructures the same physics for scale:
+//
+//   - Per-UE state lives in dense SoA arrays (positions, serving-AP
+//     index, queue/delivered counters, last CQI), so the per-epoch
+//     sweep is cache-linear instead of pointer-chasing.
+//   - Each UE carries a bounded-degree adjacency row (fixed stride,
+//     CSR-style nbrAP/nbrRxMW slabs) holding only the APs inside the
+//     interference-significance radius, found through the geo.Grid
+//     spatial index; mean rx powers are precomputed in milliwatts so
+//     the SINR inner loop is one propagation.Fading.GainLinear multiply
+//     per interferer — no dB round trips.
+//   - Whole-run metrics go to bounded-memory streaming aggregates
+//     (stats.StreamStat, stats.QuantileSketch) instead of retained
+//     samples.
+//
+// Determinism mirrors the rest of the repo: with UseSpatialIndex off,
+// neighbor rows are rebuilt by brute-force scans truncated with the
+// identical inclusive r^2 predicate, visiting APs in ascending index
+// order — byte-identical results, used by the equivalence tests.
+package metro
+
+import (
+	"math"
+	"math/rand"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/lte"
+	"cellfi/internal/phy"
+	"cellfi/internal/propagation"
+	"cellfi/internal/stats"
+)
+
+// Config sizes a metro world.
+type Config struct {
+	Seed int64
+	// NAPs / NUEs are the deployment scale.
+	NAPs, NUEs int
+	// AreaW / AreaH is the city rectangle in metres.
+	AreaW, AreaH float64
+	// APSpacingM is the minimum AP separation (jittered placement).
+	APSpacingM float64
+	// RadiusM is the interference-significance radius: APs farther than
+	// this from a UE contribute nothing (see
+	// propagation.Model.InterferenceRadius for the principled choice).
+	RadiusM float64
+	// UseSpatialIndex resolves neighborhoods through geo.Grid queries;
+	// off, the same truncation runs as a brute-force scan (reference
+	// mode for equivalence tests — quadratic, small worlds only).
+	UseSpatialIndex bool
+	// MaxNeighbors bounds each UE's adjacency row. Overflow keeps the
+	// lowest AP indices (both modes enumerate ascending, so the kept
+	// set is mode-independent).
+	MaxNeighbors int
+	// APPowerDBm / noise figure follow the paper's Section 6.3.4 setup.
+	APPowerDBm float64
+	// DayEpochs is the length of the compressed diurnal cycle driving
+	// the attach ramp (1 s epochs).
+	DayEpochs int
+	// MinLoadFrac / MaxLoadFrac bound the diurnal attached fraction.
+	MinLoadFrac, MaxLoadFrac float64
+	// MoveFraction of attached UEs takes a random-waypoint step each
+	// epoch at SpeedMps.
+	MoveFraction float64
+	SpeedMps     float64
+}
+
+// DefaultCity returns the headline scenario: 2,000 APs and 100k UEs on
+// a 14 km x 7 km city, which must simulate faster than real time on a
+// single core (the BENCH_city.json gate).
+func DefaultCity(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		NAPs:            2000,
+		NUEs:            100_000,
+		AreaW:           14_000,
+		AreaH:           7_000,
+		APSpacingM:      220,
+		RadiusM:         800,
+		MaxNeighbors:    32,
+		APPowerDBm:      30,
+		DayEpochs:       240,
+		MinLoadFrac:     0.25,
+		MaxLoadFrac:     0.95,
+		MoveFraction:    0.02,
+		SpeedMps:        15,
+		UseSpatialIndex: true,
+	}
+}
+
+// World is one instantiated city. All per-UE state is SoA.
+type World struct {
+	Cfg   Config
+	model *propagation.Model
+	fade  *propagation.Fading
+
+	// Access points (static).
+	apX, apY []float64
+	apLoad   []int32 // attached UEs per AP
+	grid     *geo.Grid
+
+	// UE state, dense SoA.
+	ueX, ueY     []float64
+	ueWpX, ueWpY []float64 // random-waypoint targets
+	ueCell       []int32   // serving AP, -1 when out of coverage
+	ueAttached   []bool
+	ueQueued     []int64
+	ueDelivered  []int64
+	ueCQI        []uint8
+
+	// Bounded-degree adjacency, fixed stride Cfg.MaxNeighbors:
+	// row u occupies [u*K, u*K+nbrN[u]). nbrRxMW is the mean rx power
+	// of that AP at the UE in milliwatts (path loss + shadowing, no
+	// fast fading); nbrLink caches the fading LinkID.
+	nbrAP      []int32
+	nbrRxMW    []float64
+	nbrLink    []uint64
+	nbrN       []uint16
+	nbrScratch []int32
+
+	rng     *rand.Rand
+	epoch   int64
+	noiseMW float64
+	// rateBps[cqi] is the one-subchannel downlink rate.
+	rateBps [16]float64
+	sc      int // the evaluated subchannel
+
+	// Streaming aggregates over the whole run (bounded memory).
+	Throughput    stats.StreamStat      // per-UE Mbps, one sample per attached UE per epoch
+	ThroughputQ   *stats.QuantileSketch // same stream, quantiles
+	Attached      stats.StreamStat      // attached count per epoch
+	attachSeq     []int32               // diurnal attach order (permutation)
+	attachedCount int32
+}
+
+// New builds the world: AP placement, UE scatter, adjacency rows.
+func New(cfg Config) *World {
+	if cfg.MaxNeighbors <= 0 {
+		cfg.MaxNeighbors = 32
+	}
+	w := &World{
+		Cfg:         cfg,
+		model:       propagation.DefaultUrban(cfg.Seed),
+		fade:        propagation.NewFading(cfg.Seed + 1),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		ThroughputQ: stats.NewQuantileSketch(0),
+	}
+	area := geo.Rect{MinX: 0, MinY: 0, MaxX: cfg.AreaW, MaxY: cfg.AreaH}
+	aps := geo.MinSpacedPoints(w.rng, area, cfg.NAPs, cfg.APSpacingM)
+	w.apX = make([]float64, cfg.NAPs)
+	w.apY = make([]float64, cfg.NAPs)
+	w.apLoad = make([]int32, cfg.NAPs)
+	for i, p := range aps {
+		w.apX[i], w.apY[i] = p.X, p.Y
+	}
+	if cfg.UseSpatialIndex {
+		w.grid = geo.NewGrid(area, cfg.RadiusM)
+		for i, p := range aps {
+			w.grid.Insert(int32(i), p)
+		}
+	}
+
+	n := cfg.NUEs
+	w.ueX = make([]float64, n)
+	w.ueY = make([]float64, n)
+	w.ueWpX = make([]float64, n)
+	w.ueWpY = make([]float64, n)
+	w.ueCell = make([]int32, n)
+	w.ueAttached = make([]bool, n)
+	w.ueQueued = make([]int64, n)
+	w.ueDelivered = make([]int64, n)
+	w.ueCQI = make([]uint8, n)
+	w.nbrAP = make([]int32, n*cfg.MaxNeighbors)
+	w.nbrRxMW = make([]float64, n*cfg.MaxNeighbors)
+	w.nbrLink = make([]uint64, n*cfg.MaxNeighbors)
+	w.nbrN = make([]uint16, n)
+	for u := 0; u < n; u++ {
+		p := area.RandomPoint(w.rng)
+		q := area.RandomPoint(w.rng)
+		w.ueX[u], w.ueY[u] = p.X, p.Y
+		w.ueWpX[u], w.ueWpY[u] = q.X, q.Y
+		w.rebuildRow(u)
+	}
+	w.attachSeq = make([]int32, n)
+	for i, v := range w.rng.Perm(n) {
+		w.attachSeq[i] = int32(v)
+	}
+
+	bw, tdd := lte.BW5MHz, lte.TDDConfig4
+	w.sc = 0
+	for cqi := 0; cqi <= 15; cqi++ {
+		w.rateBps[cqi] = lte.SubchannelRateBps(bw, tdd, w.sc, cqi)
+	}
+	w.noiseMW = propagation.DBmToMW(propagation.NoiseDBm(bw.SubchannelHz(w.sc), 7))
+	return w
+}
+
+// rebuildRow recomputes UE u's adjacency row and serving AP from its
+// current position — the only place link budgets are evaluated, run at
+// construction and after a mobility step. Both enumeration modes visit
+// APs in ascending index order under the same inclusive r^2 predicate.
+func (w *World) rebuildRow(u int) {
+	k := w.Cfg.MaxNeighbors
+	base := u * k
+	r2 := w.Cfg.RadiusM * w.Cfg.RadiusM
+	pos := geo.Point{X: w.ueX[u], Y: w.ueY[u]}
+	cnt := 0
+	consider := func(a int32) {
+		if cnt >= k {
+			return // bounded degree: keep the lowest indices
+		}
+		ap := geo.Point{X: w.apX[a], Y: w.apY[a]}
+		loss := w.model.LinkLossDB(ap, pos)
+		w.nbrAP[base+cnt] = a
+		w.nbrRxMW[base+cnt] = propagation.DBmToMW(w.Cfg.APPowerDBm - loss)
+		w.nbrLink[base+cnt] = propagation.LinkID(int(a), w.Cfg.NAPs+u)
+		cnt++
+	}
+	if w.grid != nil {
+		w.nbrScratch = w.grid.AppendWithin(w.nbrScratch[:0], pos, w.Cfg.RadiusM)
+		for _, a := range w.nbrScratch {
+			consider(a)
+		}
+	} else {
+		for a := range w.apX {
+			dx, dy := w.apX[a]-pos.X, w.apY[a]-pos.Y
+			if dx*dx+dy*dy <= r2 {
+				consider(int32(a))
+			}
+		}
+	}
+	w.nbrN[u] = uint16(cnt)
+
+	// Serving AP: strongest mean rx in the row (ascending, strict >,
+	// so ties keep the lowest index in both modes).
+	oldCell := w.ueCell[u]
+	best, bestRx := int32(-1), 0.0
+	for i := 0; i < cnt; i++ {
+		if w.nbrRxMW[base+i] > bestRx {
+			best, bestRx = w.nbrAP[base+i], w.nbrRxMW[base+i]
+		}
+	}
+	w.ueCell[u] = best
+	if w.ueAttached[u] && oldCell != best {
+		if oldCell >= 0 {
+			w.apLoad[oldCell]--
+		}
+		if best >= 0 {
+			w.apLoad[best]++
+		}
+	}
+}
+
+// loadFrac returns the diurnal attached fraction for an epoch: a raised
+// cosine over the compressed day.
+func (w *World) loadFrac(epoch int64) float64 {
+	cfg := w.Cfg
+	phase := 2 * math.Pi * float64(epoch%int64(cfg.DayEpochs)) / float64(cfg.DayEpochs)
+	return cfg.MinLoadFrac + (cfg.MaxLoadFrac-cfg.MinLoadFrac)*0.5*(1-math.Cos(phase))
+}
+
+// Step advances one 1-second epoch: diurnal attach/detach, mobility,
+// then the cache-linear SINR/throughput sweep.
+func (w *World) Step() {
+	cfg := &w.Cfg
+	w.stepAttach()
+	w.stepMobility()
+
+	tMS := w.epoch * 1000
+	k := cfg.MaxNeighbors
+	for u := 0; u < cfg.NUEs; u++ {
+		if !w.ueAttached[u] {
+			continue
+		}
+		serving := w.ueCell[u]
+		if serving < 0 {
+			w.ueCQI[u] = 0
+			w.Throughput.Add(0)
+			w.ThroughputQ.Add(0)
+			continue
+		}
+		base := u * k
+		n := int(w.nbrN[u])
+		var sig float64
+		den := w.noiseMW
+		for i := 0; i < n; i++ {
+			g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
+			p := w.nbrRxMW[base+i] * g
+			if w.nbrAP[base+i] == serving {
+				sig = p
+			} else {
+				den += p
+			}
+		}
+		sinrDB := 10 * math.Log10(sig/den)
+		cqi := phy.LTECQIFromSINR(sinrDB)
+		w.ueCQI[u] = uint8(cqi)
+		rate := w.rateBps[cqi] / float64(w.apLoad[serving])
+		served := int64(rate)
+		if served > w.ueQueued[u] {
+			served = w.ueQueued[u]
+		}
+		w.ueQueued[u] -= served
+		w.ueDelivered[u] += served
+		mbps := float64(served) / 1e6
+		w.Throughput.Add(mbps)
+		w.ThroughputQ.Add(mbps)
+	}
+	w.epoch++
+}
+
+// stepAttach moves the attached population toward the diurnal target.
+// Attach order is a fixed seed-derived permutation, so the attached set
+// at any epoch is deterministic.
+func (w *World) stepAttach() {
+	target := int(w.loadFrac(w.epoch) * float64(w.Cfg.NUEs))
+	attached := int(w.attachedCount)
+	for attached < target {
+		u := w.attachSeq[attached]
+		w.ueAttached[u] = true
+		w.ueQueued[u] = 1 << 40 // backlogged
+		if w.ueCell[u] >= 0 {
+			w.apLoad[w.ueCell[u]]++
+		}
+		attached++
+	}
+	for attached > target {
+		attached--
+		u := w.attachSeq[attached]
+		w.ueAttached[u] = false
+		if w.ueCell[u] >= 0 {
+			w.apLoad[w.ueCell[u]]--
+		}
+	}
+	w.attachedCount = int32(attached)
+	w.Attached.Add(float64(attached))
+}
+
+// stepMobility advances random-waypoint walks for a deterministic
+// subset of attached UEs and rebuilds their adjacency rows (grid-backed
+// membership update + partial link-budget refresh — the mobility half
+// of the invalidation contract).
+func (w *World) stepMobility() {
+	cfg := &w.Cfg
+	if cfg.MoveFraction <= 0 {
+		return
+	}
+	// A rotating deterministic cohort moves each epoch: identical in
+	// both neighbor-enumeration modes, no per-UE RNG draw in the sweep.
+	stride := int64(1)
+	if cfg.MoveFraction < 1 {
+		stride = int64(1 / cfg.MoveFraction)
+	}
+	for u := int(w.epoch % stride); u < cfg.NUEs; u += int(stride) {
+		if !w.ueAttached[u] {
+			continue
+		}
+		dx, dy := w.ueWpX[u]-w.ueX[u], w.ueWpY[u]-w.ueY[u]
+		d := math.Sqrt(dx*dx + dy*dy)
+		step := cfg.SpeedMps * float64(stride) // cohort moves every stride epochs
+		if d <= step {
+			w.ueX[u], w.ueY[u] = w.ueWpX[u], w.ueWpY[u]
+			w.ueWpX[u] = w.rng.Float64() * cfg.AreaW
+			w.ueWpY[u] = w.rng.Float64() * cfg.AreaH
+		} else {
+			w.ueX[u] += step * dx / d
+			w.ueY[u] += step * dy / d
+		}
+		w.rebuildRow(u)
+	}
+}
+
+// Run advances the world the given number of epochs.
+func (w *World) Run(epochs int) {
+	for i := 0; i < epochs; i++ {
+		w.Step()
+	}
+}
+
+// Epoch returns the number of completed epochs (== simulated seconds).
+func (w *World) Epoch() int64 { return w.epoch }
+
+// AttachedCount returns the currently attached UE population.
+func (w *World) AttachedCount() int { return int(w.attachedCount) }
+
+// DeliveredBits returns total downlink bits delivered so far.
+func (w *World) DeliveredBits() int64 {
+	var sum int64
+	for _, v := range w.ueDelivered {
+		sum += v
+	}
+	return sum
+}
+
+// UEState exposes one UE's SoA slots (tests and tooling).
+func (w *World) UEState(u int) (x, y float64, cell int32, delivered int64, cqi uint8) {
+	return w.ueX[u], w.ueY[u], w.ueCell[u], w.ueDelivered[u], w.ueCQI[u]
+}

@@ -35,12 +35,21 @@ func (n *Network) updateHybrid(prevTxMask [][]bool, prevActive, nowActive [][]in
 	}
 	threshold := n.noiseRBDBm() + n.Cfg.OracleInterferenceMarginDB
 	conflict := func(i, j int) bool {
+		// A boolean over a symmetric pair — truncation only has to
+		// admit the same verdict in indexed and brute modes, which the
+		// shared cellNearPos predicate guarantees.
 		for _, c := range n.ClientsOf[i] {
+			if n.truncate && !n.cellNearPos(j, n.Clients[c].Pos) {
+				continue
+			}
 			if n.rxRB[j][c] >= threshold {
 				return true
 			}
 		}
 		for _, c := range n.ClientsOf[j] {
+			if n.truncate && !n.cellNearPos(i, n.Clients[c].Pos) {
+				continue
+			}
 			if n.rxRB[i][c] >= threshold {
 				return true
 			}

@@ -79,15 +79,36 @@ func (n *Network) stepMobility() {
 				cl.Pos = cl.Pos.Add(step*math.Cos(ang), step*math.Sin(ang))
 			}
 			// The client moved: drop its cached link gains before the
-			// budget refresh recomputes them at the new position.
+			// budget refresh recomputes them at the new position, and
+			// rebucket it in the spatial index.
 			n.linkCache.Invalidate(n.clientNode(ci))
+			if n.clientGrid != nil {
+				n.clientGrid.Move(int32(ci), cl.Pos)
+			}
 			n.refreshLinkBudget(ci)
 		}
-		// Strongest-cell handover with hysteresis.
+		// Strongest-cell handover with hysteresis. Serving is always a
+		// fresh entry, so it seeds the scan; candidates beyond the
+		// significance radius are invisible (their budget entries may
+		// be stale, and no reader may touch them). Both modes visit
+		// candidates in ascending cell order with a strict >, so ties
+		// resolve identically.
 		best, bestRx := cl.Cell, n.rxRB[cl.Cell][ci]
-		for j := range n.Cells {
-			if n.rxRB[j][ci] > bestRx {
-				best, bestRx = j, n.rxRB[j][ci]
+		if n.cellGrid != nil {
+			n.cellScratch = n.cellGrid.AppendWithin(n.cellScratch[:0], cl.Pos, n.sigRadius)
+			for _, jj := range n.cellScratch {
+				if j := int(jj); n.rxRB[j][ci] > bestRx {
+					best, bestRx = j, n.rxRB[j][ci]
+				}
+			}
+		} else {
+			for j := range n.Cells {
+				if n.truncate && !n.cellNearPos(j, cl.Pos) {
+					continue
+				}
+				if n.rxRB[j][ci] > bestRx {
+					best, bestRx = j, n.rxRB[j][ci]
+				}
 			}
 		}
 		if best != cl.Cell && bestRx >= n.rxRB[cl.Cell][ci]+cfg.HandoverMarginDB {
@@ -97,16 +118,43 @@ func (n *Network) stepMobility() {
 }
 
 // refreshLinkBudget recomputes the cached budget for one (moved)
-// client against every cell.
+// client. Untruncated it covers every cell; truncated it covers the
+// cells inside the client's new neighborhood plus the serving cell
+// (always fresh for the handover seed). Entries outside that set go
+// stale, but every reader filters by the same radius, so they are
+// unreachable — and both modes apply identical refresh histories, so
+// even stale values stay bit-identical across modes.
 func (n *Network) refreshLinkBudget(ci int) {
 	nf := 7.0
 	perRB := n.Cfg.APPowerDBm - 10*math.Log10(float64(n.Cfg.BW.ResourceBlocks()))
 	noisePRACH := propagation.NoiseDBm(6*lte.RBBandwidthHz, nf) + n.Cfg.PRACHFloorRiseDB
 	cl := n.Clients[ci]
-	for i, ap := range n.Cells {
-		loss := n.linkCache.LossDB(i, n.clientNode(ci), ap, cl.Pos)
+	refresh := func(i int) {
+		loss := n.linkCache.LossDB(i, n.clientNode(ci), n.Cells[i], cl.Pos)
 		n.rxRB[i][ci] = perRB + 6 - loss
 		n.prachSNR[i][ci] = n.Cfg.ClientPowerDBm + 6 - loss - noisePRACH
+	}
+	switch {
+	case n.cellGrid != nil:
+		n.cellScratch = n.cellGrid.AppendWithin(n.cellScratch[:0], cl.Pos, n.sigRadius)
+		serving := false
+		for _, jj := range n.cellScratch {
+			refresh(int(jj))
+			serving = serving || int(jj) == cl.Cell
+		}
+		if !serving {
+			refresh(cl.Cell)
+		}
+	case n.truncate:
+		for i := range n.Cells {
+			if i == cl.Cell || n.cellNearPos(i, cl.Pos) {
+				refresh(i)
+			}
+		}
+	default:
+		for i := range n.Cells {
+			refresh(i)
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"cellfi/internal/topo"
+	"cellfi/internal/trace"
+)
+
+// equivRun drives one full netsim run with interference truncation at
+// the given radius, optionally through the spatial index, with a trace
+// recorder attached, and returns the trace bytes plus the per-client
+// throughputs and handover count.
+func equivRun(t *testing.T, scheme Scheme, seed int64, radius float64, indexed, mobile bool, epochs int) ([]byte, []float64, int) {
+	t.Helper()
+	tp := topo.Generate(topo.Paper(8, 4), seed)
+	cfg := DefaultConfig(scheme, seed)
+	cfg.InterferenceRadiusM = radius
+	cfg.UseSpatialIndex = indexed
+	var buf bytes.Buffer
+	ring := trace.NewRing(0)
+	ring.SpillTo(&buf)
+	cfg.Trace = ring
+	n := New(tp, cfg)
+	if mobile {
+		m := DefaultMobility()
+		m.SpeedMps = 40 // cover real distance so neighborhoods change
+		m.PauseEpochs = 0
+		n.EnableMobility(m)
+	}
+	th := n.Run(epochs)
+	if err := ring.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	return buf.Bytes(), th, n.Handovers()
+}
+
+func compareModes(t *testing.T, scheme Scheme, seed int64, radius float64, mobile bool, epochs int) {
+	t.Helper()
+	traceB, thB, hoB := equivRun(t, scheme, seed, radius, false, mobile, epochs)
+	traceI, thI, hoI := equivRun(t, scheme, seed, radius, true, mobile, epochs)
+	if hoB != hoI {
+		t.Fatalf("%v seed %d: handovers diverge: brute %d indexed %d", scheme, seed, hoB, hoI)
+	}
+	for c := range thB {
+		if thB[c] != thI[c] {
+			t.Fatalf("%v seed %d client %d: throughput diverges: brute %v indexed %v",
+				scheme, seed, c, thB[c], thI[c])
+		}
+	}
+	if !bytes.Equal(traceB, traceI) {
+		t.Fatalf("%v seed %d: trace streams diverge (%d vs %d bytes)",
+			scheme, seed, len(traceB), len(traceI))
+	}
+}
+
+// TestIndexedEquivalence50Seeds is the acceptance criterion: across 50
+// seeds, the grid-indexed interference path is bit-identical to the
+// brute-force truncated path within the significance radius — trace
+// streams byte-identical, throughputs exactly equal. The 800 m radius
+// genuinely truncates on the 2000 m paper topology (cells regularly
+// sit farther apart than that).
+func TestIndexedEquivalence50Seeds(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		compareModes(t, SchemeCellFi, seed, 800, false, 6)
+	}
+}
+
+// The other schemes exercise different truncated scans (oracle conflict
+// edges, hybrid deconfliction, random hopping), and mobility exercises
+// the grid Move + partial budget-refresh contract.
+func TestIndexedEquivalenceAcrossSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeOracle, SchemeHybrid, SchemeRandomHop} {
+		for seed := int64(1); seed <= 5; seed++ {
+			compareModes(t, scheme, seed, 800, false, 6)
+		}
+	}
+}
+
+func TestIndexedEquivalenceUnderMobility(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		compareModes(t, SchemeCellFi, seed, 800, true, 10)
+	}
+}
+
+// A radius beyond every pairwise distance must reproduce the historical
+// all-pairs run exactly — truncation with nothing to truncate.
+func TestTruncationVacuousAtLargeRadius(t *testing.T) {
+	traceFull, thFull, _ := equivRun(t, SchemeCellFi, 7, 0, false, false, 6)
+	traceHuge, thHuge, _ := equivRun(t, SchemeCellFi, 7, 1e9, true, false, 6)
+	for c := range thFull {
+		if thFull[c] != thHuge[c] {
+			t.Fatalf("client %d: throughput diverges: full %v truncated-at-1e9 %v",
+				c, thFull[c], thHuge[c])
+		}
+	}
+	if !bytes.Equal(traceFull, traceHuge) {
+		t.Fatalf("trace streams diverge (%d vs %d bytes)", len(traceFull), len(traceHuge))
+	}
+}

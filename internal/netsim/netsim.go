@@ -104,6 +104,16 @@ type Config struct {
 	// NumProviders splits cells across operators for SchemeHybrid
 	// (cell i belongs to provider i mod NumProviders). Default 2.
 	NumProviders int
+	// InterferenceRadiusM, when positive, truncates every interference
+	// scan at the significance radius (see
+	// propagation.Model.InterferenceRadius): transmitters farther from
+	// a receiver contribute nothing. Zero keeps the historical
+	// all-pairs scans.
+	InterferenceRadiusM float64
+	// UseSpatialIndex runs the truncated scans through uniform-grid
+	// queries instead of all-node loops — bit-identical results, O(N)
+	// to O(neighborhood) cost. Requires InterferenceRadiusM > 0.
+	UseSpatialIndex bool
 	// Trace, when non-nil, flight-records every cell's interference-
 	// management decisions (im-share per epoch, im-hop per holding
 	// change), timestamped with the epoch clock (epoch × 1 s). Applies
@@ -186,6 +196,15 @@ type Network struct {
 	mobile    []mobileState
 	handovers int
 
+	// Interference neighborhood state (see neighbors.go). truncate is
+	// set when InterferenceRadiusM > 0; the grids and the dense
+	// active-client flags exist only with UseSpatialIndex.
+	truncate                   bool
+	sigRadius, sigR2           float64
+	cellGrid, clientGrid       *geo.Grid
+	cellScratch, clientScratch []int32
+	activeFlag                 []bool
+
 	// Hops accumulates controller hops for convergence reporting.
 	Hops int
 }
@@ -213,6 +232,7 @@ func New(t *topo.Topology, cfg Config) *Network {
 	}
 	n.linkCache = propagation.NewLinkCache(n.model, len(n.Cells)+len(n.Clients))
 	n.precomputeLinkBudget()
+	n.setupNeighborhoods()
 	s := cfg.BW.Subchannels()
 	n.allowed = make([][]int, len(n.Cells))
 	n.cleanStreak = make([][]int, len(n.Cells))
@@ -349,8 +369,25 @@ func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool) float64 {
 	tMS := n.epoch*1000 + b*100
 	signal := n.rxRB[i][c] + n.fading.GainDB(propagation.LinkID(i, c), k, tMS)
 	den := propagation.DBmToMW(n.noiseRBDBm())
+	if n.cellGrid != nil {
+		// Grid query returns ascending cell indices — the same order
+		// the scan below visits them — so the float sum is identical.
+		n.cellScratch = n.cellGrid.AppendWithin(n.cellScratch[:0], cl.Pos, n.sigRadius)
+		for _, jj := range n.cellScratch {
+			j := int(jj)
+			if j == i || !txMask[j][k] {
+				continue
+			}
+			p := n.rxRB[j][c] + n.fading.GainDB(propagation.LinkID(j, c), k, tMS)
+			den += propagation.DBmToMW(p)
+		}
+		return signal - propagation.MWToDBm(den)
+	}
 	for j := range n.Cells {
 		if j == i || !txMask[j][k] {
+			continue
+		}
+		if n.truncate && !n.cellNearPos(j, cl.Pos) {
 			continue
 		}
 		p := n.rxRB[j][c] + n.fading.GainDB(propagation.LinkID(j, c), k, tMS)
@@ -395,6 +432,7 @@ func (n *Network) Step() EpochResult {
 	for j := 0; j < nCells; j++ {
 		active[j] = n.activeClients(j)
 	}
+	n.markActive(active)
 
 	// Interference management runs at the start of the epoch: shares
 	// follow the clients active now, observations come from the
@@ -493,11 +531,24 @@ func (n *Network) updateControllers(prevTxMask [][]bool, prevActive, nowActive [
 		// second (Section 5.1), so the census tracks current demand.
 		own := len(nowActive[i])
 		// PRACH census: active clients anywhere audible at >= -10 dB.
+		// A count, so set equality is enough for the indexed path.
 		sensed := 0
-		for j := range n.Cells {
-			for _, c := range nowActive[j] {
-				if n.prachSNR[i][c] >= lte.PRACHDetectFloorDB {
+		if n.clientGrid != nil {
+			n.clientScratch = n.clientGrid.AppendWithin(n.clientScratch[:0], n.Cells[i], n.sigRadius)
+			for _, cc := range n.clientScratch {
+				if n.activeFlag[cc] && n.prachSNR[i][cc] >= lte.PRACHDetectFloorDB {
 					sensed++
+				}
+			}
+		} else {
+			for j := range n.Cells {
+				for _, c := range nowActive[j] {
+					if n.truncate && !n.clientNearPos(c, n.Cells[i]) {
+						continue
+					}
+					if n.prachSNR[i][c] >= lte.PRACHDetectFloorDB {
+						sensed++
+					}
 				}
 			}
 		}
@@ -597,18 +648,38 @@ func (n *Network) oracleAllocate() [][]int {
 	nCells := len(n.Cells)
 	g := netgraph.New(nCells)
 	noise := n.noiseRBDBm()
-	for i := 0; i < nCells; i++ {
-		for j := 0; j < nCells; j++ {
-			if i == j {
-				continue
-			}
-			// Edge if cell j's signal at any of cell i's clients
-			// rises materially above the noise floor (it would
-			// visibly degrade SINR there).
+	threshold := noise + n.Cfg.OracleInterferenceMarginDB
+	// Edge if cell j's signal at any of cell i's clients rises
+	// materially above the noise floor (it would visibly degrade SINR
+	// there). AddEdge is symmetric and idempotent, so the indexed and
+	// brute scans only need to admit the same edge set — visit order
+	// does not matter.
+	if n.cellGrid != nil {
+		for i := 0; i < nCells; i++ {
 			for _, c := range n.ClientsOf[i] {
-				if n.rxRB[j][c] >= noise+n.Cfg.OracleInterferenceMarginDB {
-					g.AddEdge(i, j)
-					break
+				n.cellScratch = n.cellGrid.AppendWithin(n.cellScratch[:0], n.Clients[c].Pos, n.sigRadius)
+				for _, jj := range n.cellScratch {
+					j := int(jj)
+					if j != i && n.rxRB[j][c] >= threshold {
+						g.AddEdge(i, j)
+					}
+				}
+			}
+		}
+	} else {
+		for i := 0; i < nCells; i++ {
+			for j := 0; j < nCells; j++ {
+				if i == j {
+					continue
+				}
+				for _, c := range n.ClientsOf[i] {
+					if n.truncate && !n.cellNearPos(j, n.Clients[c].Pos) {
+						continue
+					}
+					if n.rxRB[j][c] >= threshold {
+						g.AddEdge(i, j)
+						break
+					}
 				}
 			}
 		}

@@ -107,21 +107,30 @@ func TestCellFiReducesStarvationVsLTE(t *testing.T) {
 }
 
 func TestConvergenceHopsSettle(t *testing.T) {
-	tp := topo.Generate(topo.Paper(8, 6), 6)
-	n := New(tp, DefaultConfig(SchemeCellFi, 6))
-	n.Backlog()
-	for e := 0; e < 15; e++ {
-		n.Step()
-	}
-	early := n.Hops
-	for e := 0; e < 15; e++ {
-		n.Step()
-	}
-	late := n.Hops - early
 	// The vast majority of hopping happens early (Section 6.3.4: most
-	// APs hop only a few times).
-	if late > early {
-		t.Errorf("hops not settling: %d early vs %d late", early, late)
+	// APs hop only a few times). Sensing false positives keep a low
+	// residual hop rate forever, so single seeds are noisy — aggregate
+	// a few worlds and compare the first window against a late one.
+	var early, late int
+	for seed := int64(1); seed <= 5; seed++ {
+		tp := topo.Generate(topo.Paper(8, 6), seed)
+		n := New(tp, DefaultConfig(SchemeCellFi, seed))
+		n.Backlog()
+		for e := 0; e < 15; e++ {
+			n.Step()
+		}
+		early += n.Hops
+		for e := 0; e < 30; e++ { // let things settle further
+			n.Step()
+		}
+		mark := n.Hops
+		for e := 0; e < 15; e++ {
+			n.Step()
+		}
+		late += n.Hops - mark
+	}
+	if late >= early {
+		t.Errorf("hops not settling: %d early vs %d late (5 seeds)", early, late)
 	}
 }
 

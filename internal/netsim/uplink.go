@@ -81,6 +81,12 @@ func (n *Network) UplinkThroughputs(epochs int) []float64 {
 						if j == i || rep[j] < 0 || !inSet[j][k] {
 							continue
 						}
+						// Same truncation predicate as the downlink
+						// scans (and it keeps stale budget entries of
+						// far-away moved clients unreachable here too).
+						if n.truncate && !n.clientNearPos(rep[j], n.Cells[i]) {
+							continue
+						}
 						den += propagation.DBmToMW(n.ulRxRB(i, rep[j], rbs))
 					}
 					sinr := sig - propagation.MWToDBm(den)

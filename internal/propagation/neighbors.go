@@ -1,0 +1,52 @@
+package propagation
+
+import (
+	"math"
+
+	"cellfi/internal/geo"
+)
+
+// NeighborSource enumerates the nodes whose transmissions can matter at
+// a point: everything within the interference-significance radius.
+// Implementations must append ids in ascending order so that float
+// interference sums accumulate in the same order as a brute-force scan
+// over a dense node slice (the determinism contract the equivalence
+// tests pin down). *geo.Grid satisfies it directly.
+//
+// A nil NeighborSource in the consumers (lte.Environment, wifi.Network,
+// netsim) means "scan everyone" — the pre-index behavior.
+type NeighborSource interface {
+	AppendWithin(dst []int32, p geo.Point, radius float64) []int32
+}
+
+var _ NeighborSource = (*geo.Grid)(nil)
+
+// DefaultInterferenceDeltaDB is the default noise-floor margin for
+// InterferenceRadius: a transmitter whose median received power is this
+// many dB below the thermal noise floor moves the interference
+// denominator by <0.3% and is treated as insignificant.
+const DefaultInterferenceDeltaDB = 10
+
+// InterferenceRadius returns the interference-significance radius in
+// metres: the distance at which a transmitter at eirpDBm falls
+// deltaDB below the noise floor noiseDBm under the median path loss,
+// with a 3-sigma shadowing allowance so links the shadowing term
+// happens to favor are still inside the radius. Beyond this distance a
+// single interferer perturbs the SINR denominator by less than
+// 10^(-delta/10) of noise; the truncation-correctness argument lives in
+// DESIGN.md.
+//
+// The log-distance model inverts in closed form:
+//
+//	maxLoss = EIRP - (noise - delta) + 3*sigma
+//	d       = RefDist * 10^((maxLoss - RefLossDB) / (10 * Exponent))
+//
+// Distances at or below RefDist (pathological parameters) clamp to
+// RefDist.
+func (m *Model) InterferenceRadius(eirpDBm, noiseDBm, deltaDB float64) float64 {
+	maxLoss := eirpDBm - (noiseDBm - deltaDB) + 3*m.ShadowSigmaDB
+	if maxLoss <= m.RefLossDB {
+		return m.RefDist
+	}
+	return m.RefDist * math.Pow(10, (maxLoss-m.RefLossDB)/(10*m.Exponent))
+}

@@ -1,0 +1,74 @@
+package propagation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterferenceRadiusInvertsPathLoss(t *testing.T) {
+	m := DefaultUrban(1)
+	const eirp, nf = 36.0, 7.0
+	noise := NoiseDBm(5e6, nf)
+	for _, delta := range []float64{0, 6, 10, 20} {
+		d := m.InterferenceRadius(eirp, noise, delta)
+		if d <= m.RefDist {
+			t.Fatalf("delta %g: radius %.1f not beyond RefDist", delta, d)
+		}
+		// At the returned distance the median loss plus the 3-sigma
+		// shadow allowance puts the transmitter exactly delta below
+		// noise.
+		rx := eirp - (m.PathLossDB(d) - 3*m.ShadowSigmaDB)
+		if want := noise - delta; math.Abs(rx-want) > 1e-9 {
+			t.Fatalf("delta %g: rx at radius = %.6f dBm, want %.6f", delta, rx, want)
+		}
+	}
+}
+
+func TestInterferenceRadiusMonotoneInDelta(t *testing.T) {
+	m := DefaultUrban(1)
+	noise := NoiseDBm(5e6, 7)
+	prev := 0.0
+	for _, delta := range []float64{0, 3, 6, 10, 20} {
+		d := m.InterferenceRadius(36, noise, delta)
+		if d <= prev {
+			t.Fatalf("radius not increasing in delta: %g at delta %g after %g", d, delta, prev)
+		}
+		prev = d
+	}
+}
+
+func TestInterferenceRadiusClampsToRefDist(t *testing.T) {
+	m := DefaultUrban(1)
+	// A hopeless link budget (tiny EIRP vs a huge noise floor) clamps.
+	if d := m.InterferenceRadius(-200, 0, 0); d != m.RefDist {
+		t.Fatalf("radius = %g, want RefDist %g", d, m.RefDist)
+	}
+}
+
+// GainDB is defined as 10*log10(GainLinear); the two must agree
+// bit-for-bit so switching a hot path to the linear form cannot perturb
+// any seeded result.
+func TestFadingGainLinearMatchesGainDB(t *testing.T) {
+	f := NewFading(7)
+	for link := uint64(0); link < 50; link++ {
+		for sc := 0; sc < 4; sc++ {
+			for tMS := int64(0); tMS < 1000; tMS += 100 {
+				lin := f.GainLinear(link, sc, tMS)
+				if lin <= 0 {
+					t.Fatalf("GainLinear = %g, want positive", lin)
+				}
+				if db := f.GainDB(link, sc, tMS); db != 10*math.Log10(lin) {
+					t.Fatalf("GainDB %g != 10*log10(GainLinear) %g", db, 10*math.Log10(lin))
+				}
+			}
+		}
+	}
+	var nilF *Fading
+	if nilF.GainLinear(1, 0, 0) != 1 || nilF.GainDB(1, 0, 0) != 0 {
+		t.Fatal("nil Fading must be a unit gain")
+	}
+	off := &Fading{Disabled: true, BlockMS: 100}
+	if off.GainLinear(1, 0, 0) != 1 || off.GainDB(1, 0, 0) != 0 {
+		t.Fatal("disabled Fading must be a unit gain")
+	}
+}

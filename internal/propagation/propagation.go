@@ -11,7 +11,6 @@ package propagation
 
 import (
 	"math"
-	"math/rand"
 
 	"cellfi/internal/geo"
 )
@@ -102,8 +101,19 @@ func (m *Model) ShadowingDB(a, b geo.Point) float64 {
 	}
 	h := hash64(m.Seed, math.Float64bits(ax), math.Float64bits(ay),
 		math.Float64bits(bx), math.Float64bits(by))
-	rng := rand.New(rand.NewSource(int64(h)))
-	return rng.NormFloat64() * m.ShadowSigmaDB
+	return boxMuller(h) * m.ShadowSigmaDB
+}
+
+// boxMuller maps a 64-bit hash to a standard normal deviate. City-scale
+// worlds evaluate millions of fresh links (100k UEs x their AP
+// neighborhoods), so the draw must not seed a full math/rand generator
+// per link (~27 us each); two sub-hashes through the Box-Muller
+// transform give the same frozen-per-link determinism at ~50 ns.
+func boxMuller(h uint64) float64 {
+	h2 := hash64(int64(h), 0x6d7970726f70)
+	u1 := (float64(h>>11) + 1) / (1 << 53)  // (0,1]
+	u2 := (float64(h2>>11) + 1) / (1 << 53) // (0,1]
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
 // LinkLossDB returns path loss plus shadowing for the link a—b.
@@ -207,12 +217,21 @@ func (f *Fading) GainDB(linkID uint64, subchannel int, tMS int64) float64 {
 	if f == nil || f.Disabled {
 		return 0
 	}
+	return 10 * math.Log10(f.GainLinear(linkID, subchannel, tMS))
+}
+
+// GainLinear returns the same fade as GainDB as a linear power gain
+// (GainDB == 10*log10(GainLinear), bit-for-bit). Hot paths that work in
+// milliwatts use it to skip the log10/pow round trip per interferer.
+func (f *Fading) GainLinear(linkID uint64, subchannel int, tMS int64) float64 {
+	if f == nil || f.Disabled {
+		return 1
+	}
 	block := tMS / f.BlockMS
 	h := hash64(f.Seed, linkID, uint64(subchannel)+0x5bd1e995, uint64(block))
 	// Map the hash to (0,1], then to an Exponential(1) power gain.
 	u := (float64(h>>11) + 1) / (1 << 53)
-	p := -math.Log(u) // mean-1 exponential power
-	return 10 * math.Log10(p)
+	return -math.Log(u) // mean-1 exponential power
 }
 
 // LinkID builds a stable directed link identifier from two node IDs.

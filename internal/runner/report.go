@@ -34,8 +34,12 @@ type RunResult struct {
 	// sim.Engines plus coarse steps recorded via Ctx.AddSteps.
 	SimEvents int64 `json:"sim_events"`
 	// SimClockMS is the total virtual time advanced by tracked
-	// engines, in milliseconds.
+	// engines (plus Ctx.AddSimTime), in milliseconds.
 	SimClockMS float64 `json:"sim_clock_ms"`
+	// SimRealtimeFactor is SimClockMS / WallMS — how much faster than
+	// the wall clock this run simulated. > 1 means faster than real
+	// time; 0 when the run advanced no tracked virtual time.
+	SimRealtimeFactor float64 `json:"sim_realtime_factor,omitempty"`
 	// SimMaxPending is the deepest any tracked engine's event heap
 	// got — the run's peak event concurrency.
 	SimMaxPending int `json:"sim_max_pending,omitempty"`
@@ -78,14 +82,23 @@ type Report struct {
 	// TotalSimEvents sums SimEvents over all runs; EventsPerSec is
 	// that total divided by campaign wall time — the fleet's
 	// simulation throughput.
-	TotalSimEvents int64       `json:"total_sim_events"`
-	EventsPerSec   float64     `json:"sim_events_per_sec"`
-	Runs           []RunResult `json:"runs"`
+	TotalSimEvents int64   `json:"total_sim_events"`
+	EventsPerSec   float64 `json:"sim_events_per_sec"`
+	// SimRealtimeFactor is total virtual time over campaign wall time.
+	// With parallel workers this measures fleet-level speedup (it can
+	// exceed any single run's factor).
+	SimRealtimeFactor float64 `json:"sim_realtime_factor,omitempty"`
+	// PeakRSSMB is the process's peak resident set in MiB at report
+	// finalization (ru_maxrss; 0 where unsupported) — the scale
+	// headroom signal for fleet sizing.
+	PeakRSSMB float64     `json:"peak_rss_mb,omitempty"`
+	Runs      []RunResult `json:"runs"`
 }
 
 // finalize computes the aggregate counters from Runs.
 func (r *Report) finalize() {
 	r.OK, r.Failed, r.Canceled, r.TotalSimEvents = 0, 0, 0, 0
+	var simClockMS float64
 	for i := range r.Runs {
 		switch r.Runs[i].Status {
 		case StatusOK:
@@ -96,10 +109,13 @@ func (r *Report) finalize() {
 			r.Failed++
 		}
 		r.TotalSimEvents += r.Runs[i].SimEvents
+		simClockMS += r.Runs[i].SimClockMS
 	}
 	if r.WallMS > 0 {
 		r.EventsPerSec = float64(r.TotalSimEvents) / (r.WallMS / 1000)
+		r.SimRealtimeFactor = simClockMS / r.WallMS
 	}
+	r.PeakRSSMB = peakRSSMB()
 }
 
 // Err returns an error describing the first unsuccessful run, or nil

@@ -1,0 +1,15 @@
+//go:build linux
+
+package runner
+
+import "syscall"
+
+// peakRSSMB reports the process's peak resident set size in MiB.
+// Linux ru_maxrss is in kilobytes.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package runner
+
+// peakRSSMB is unavailable off Linux; reports omit the field.
+func peakRSSMB() float64 { return 0 }

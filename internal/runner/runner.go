@@ -68,6 +68,7 @@ type Ctx struct {
 	mu      sync.Mutex
 	engines []*sim.Engine
 	steps   int64
+	simTime time.Duration
 
 	traceRing *trace.Ring
 	tracePath string
@@ -251,12 +252,24 @@ func (c *Ctx) AddSteps(n int64) {
 	c.mu.Unlock()
 }
 
+// AddSimTime accounts virtual time advanced by scenarios that are not
+// driven by a sim.Engine (the epoch simulators advance one second per
+// epoch, the metro world likewise). It feeds the run's SimClockMS and
+// hence its sim_realtime_factor.
+func (c *Ctx) AddSimTime(d time.Duration) {
+	c.mu.Lock()
+	c.simTime += d
+	c.mu.Unlock()
+}
+
 // collect sums telemetry from tracked engines. Called by the worker
-// after Run returns, so no engine is still being driven.
+// after Run returns (WallMS already set), so no engine is still being
+// driven.
 func (c *Ctx) collect(res *RunResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	res.SimEvents = c.steps
+	res.SimClockMS = float64(c.simTime) / float64(time.Millisecond)
 	for _, e := range c.engines {
 		st := e.Stats()
 		res.SimEvents += int64(st.Fired)
@@ -265,6 +278,9 @@ func (c *Ctx) collect(res *RunResult) {
 			res.SimMaxPending = st.MaxPending
 		}
 		res.SimEventSlots += st.EventSlots
+	}
+	if res.WallMS > 0 {
+		res.SimRealtimeFactor = res.SimClockMS / res.WallMS
 	}
 }
 

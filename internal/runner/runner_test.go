@@ -469,3 +469,67 @@ func TestSanitizeLabel(t *testing.T) {
 		t.Fatalf("sanitizeLabel = %q", got)
 	}
 }
+
+// Realtime telemetry: a run that advances virtual time — via a tracked
+// engine or AddSimTime — reports sim_realtime_factor, and the campaign
+// aggregates it plus the peak-RSS estimate.
+func TestRealtimeFactorTelemetry(t *testing.T) {
+	specs := []Spec{
+		{
+			Label: "engine-driven",
+			Seed:  1,
+			Run: func(c *Ctx) (any, error) {
+				eng := c.Engine(c.Seed())
+				eng.After(2*time.Second, func() {})
+				eng.RunAll()
+				return nil, nil
+			},
+		},
+		{
+			Label: "epoch-driven",
+			Seed:  2,
+			Run: func(c *Ctx) (any, error) {
+				c.AddSimTime(30 * time.Second) // 30 fluid epochs
+				return nil, nil
+			},
+		},
+	}
+	rep := Run(context.Background(), "realtime", specs, Options{Workers: 1})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Runs {
+		if r.SimClockMS <= 0 {
+			t.Fatalf("run %q: sim_clock_ms %v, want > 0", r.Label, r.SimClockMS)
+		}
+		// Both scenarios do ~zero real work over seconds of virtual
+		// time, so they must be far faster than real time.
+		if r.SimRealtimeFactor <= 1 {
+			t.Fatalf("run %q: sim_realtime_factor %v, want > 1", r.Label, r.SimRealtimeFactor)
+		}
+	}
+	if rep.SimRealtimeFactor <= 1 {
+		t.Fatalf("campaign sim_realtime_factor %v, want > 1", rep.SimRealtimeFactor)
+	}
+	if rss := peakRSSMB(); rss > 0 && rep.PeakRSSMB <= 0 {
+		t.Fatalf("peak_rss_mb %v despite rusage reporting %v", rep.PeakRSSMB, rss)
+	}
+
+	// The fields must survive the JSON round trip fleet tooling reads.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["sim_realtime_factor"]; !ok {
+		t.Fatal("report JSON lacks sim_realtime_factor")
+	}
+	if rep.PeakRSSMB > 0 {
+		if _, ok := decoded["peak_rss_mb"]; !ok {
+			t.Fatal("report JSON lacks peak_rss_mb")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors the sketch's rank convention on a sorted copy.
+func exactQuantile(samples []float64, q float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(q * float64(len(s)-1))
+	return s[rank]
+}
+
+// checkSketchAccuracy asserts every decile estimate is within the
+// advertised relative error of the exact sample quantile.
+func checkSketchAccuracy(t *testing.T, name string, samples []float64, alpha float64) {
+	t.Helper()
+	s := NewQuantileSketch(alpha)
+	for _, v := range samples {
+		s.Add(v)
+	}
+	if s.Count() != int64(len(samples)) {
+		t.Fatalf("%s: count %d, want %d", name, s.Count(), len(samples))
+	}
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		got := s.Quantile(q)
+		want := exactQuantile(samples, q)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("%s q=%.1f: got %v, want exactly 0", name, q, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > alpha {
+			t.Fatalf("%s q=%.1f: got %v, want %v (rel err %.4f > alpha %.2f)",
+				name, q, got, want, rel, alpha)
+		}
+	}
+}
+
+// The sketch's error bound must hold regardless of arrival order — the
+// orderings that break order-sensitive estimators like P².
+func TestQuantileSketchAdversarialOrderings(t *testing.T) {
+	const n, alpha = 20000, 0.01
+	rng := rand.New(rand.NewSource(1))
+	base := make([]float64, n)
+	for i := range base {
+		// Heavy-tailed: throughputs span ~6 decades.
+		base[i] = math.Exp(rng.NormFloat64()*2 + 1)
+	}
+
+	sorted := append([]float64(nil), base...)
+	sort.Float64s(sorted)
+	reversed := make([]float64, n)
+	for i, v := range sorted {
+		reversed[n-1-i] = v
+	}
+	// Duplicate-heavy: 16 distinct values, many repeats, some zeros.
+	dupes := make([]float64, n)
+	for i := range dupes {
+		k := rng.Intn(16)
+		if k == 0 {
+			dupes[i] = 0
+		} else {
+			dupes[i] = float64(k) * 1.5
+		}
+	}
+
+	checkSketchAccuracy(t, "random", base, alpha)
+	checkSketchAccuracy(t, "sorted", sorted, alpha)
+	checkSketchAccuracy(t, "reversed", reversed, alpha)
+	checkSketchAccuracy(t, "duplicate-heavy", dupes, alpha)
+}
+
+// Merging shard sketches must answer queries exactly like one sketch
+// that saw the concatenated stream — the property P²/GK lack and the
+// reason the log-bucket design was chosen.
+func TestQuantileSketchMergeExact(t *testing.T) {
+	const shards, perShard = 8, 5000
+	rng := rand.New(rand.NewSource(2))
+	single := NewQuantileSketch(0.01)
+	parts := make([]*QuantileSketch, shards)
+	for sh := range parts {
+		parts[sh] = NewQuantileSketch(0.01)
+		for i := 0; i < perShard; i++ {
+			v := math.Exp(rng.NormFloat64() * 3)
+			if rng.Intn(50) == 0 {
+				v = 0
+			}
+			single.Add(v)
+			parts[sh].Add(v)
+		}
+	}
+	// Merge in a scrambled order: exactness must be order-independent.
+	merged := NewQuantileSketch(0.01)
+	for _, sh := range rng.Perm(shards) {
+		merged.Merge(parts[sh])
+	}
+	if merged.Count() != single.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), single.Count())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if a, b := merged.Quantile(q), single.Quantile(q); a != b {
+			t.Fatalf("q=%.2f: merged %v != single-stream %v", q, a, b)
+		}
+	}
+}
+
+func TestQuantileSketchRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewQuantileSketch(0).Add(-1)
+}
+
+func TestStreamStatMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var st StreamStat
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*7 + 3
+		st.Add(samples[i])
+	}
+	var sum float64
+	mn, mx := samples[0], samples[0]
+	for _, v := range samples {
+		sum += v
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	mean := sum / float64(len(samples))
+	var m2 float64
+	for _, v := range samples {
+		m2 += (v - mean) * (v - mean)
+	}
+	if math.Abs(st.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v, want %v", st.Mean(), mean)
+	}
+	if math.Abs(st.Variance()-m2/float64(len(samples))) > 1e-6 {
+		t.Fatalf("variance %v, want %v", st.Variance(), m2/float64(len(samples)))
+	}
+	if st.Min() != mn || st.Max() != mx {
+		t.Fatalf("min/max %v/%v, want %v/%v", st.Min(), st.Max(), mn, mx)
+	}
+	if st.Count() != int64(len(samples)) {
+		t.Fatalf("count %d, want %d", st.Count(), len(samples))
+	}
+}
+
+// Sharded StreamStats merged in any order must agree with the
+// single-stream accumulator to floating-point noise.
+func TestStreamStatMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var whole StreamStat
+	parts := make([]StreamStat, 5)
+	for sh := range parts {
+		n := 100 + rng.Intn(5000) // uneven shards
+		for i := 0; i < n; i++ {
+			v := math.Exp(rng.NormFloat64())
+			whole.Add(v)
+			parts[sh].Add(v)
+		}
+	}
+	var merged StreamStat
+	for _, sh := range rng.Perm(len(parts)) {
+		merged.Merge(parts[sh])
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d, want %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9*math.Abs(whole.Mean()) {
+		t.Fatalf("mean %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-9*whole.Variance() {
+		t.Fatalf("variance %v, want %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max diverge")
+	}
+	// Merging an empty shard is a no-op; merging into empty copies.
+	var empty StreamStat
+	before := merged
+	merged.Merge(empty)
+	if merged != before {
+		t.Fatal("merging empty changed the accumulator")
+	}
+	var fresh StreamStat
+	fresh.Merge(whole)
+	if fresh != whole {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func BenchmarkQuantileSketchAdd(b *testing.B) {
+	s := NewQuantileSketch(0.01)
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vals[i&1023])
+	}
+}

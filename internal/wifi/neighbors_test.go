@@ -1,0 +1,149 @@
+package wifi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"cellfi/internal/geo"
+	"cellfi/internal/sim"
+	"cellfi/internal/trace"
+)
+
+// buildCity lays nAPs APs on a city grid (180 m pitch, ten per row),
+// each with two backlogged clients. The caller configures truncation /
+// indexing on the empty network before nodes are added so both modes
+// see identical construction-time events.
+func buildCity(eng *sim.Engine, params Params, nAPs int, setup func(*Network)) *Network {
+	n := NewNetwork(eng, quietModel(3), params)
+	if setup != nil {
+		setup(n)
+	}
+	for i := 0; i < nAPs; i++ {
+		x := float64(i%10) * 180
+		y := float64(i/10) * 180
+		ap := n.AddAP(i, geo.Point{X: x, Y: y}, 20)
+		for c := 0; c < 2; c++ {
+			cl := n.AddClient(1000+i*10+c, geo.Point{X: x + 20 + float64(c)*15, Y: y + 10}, 20, ap)
+			ap.Enqueue(cl, 1<<40)
+		}
+	}
+	return n
+}
+
+func cityBounds(nAPs int) geo.Rect {
+	rows := (nAPs + 9) / 10
+	return geo.Rect{MinX: 0, MinY: 0, MaxX: 9*180 + 100, MaxY: float64(rows)*180 + 100}
+}
+
+// runCity drives a city for the given virtual horizon with a trace
+// recorder attached and returns the wire bytes plus MAC counters.
+func runCity(t *testing.T, seed int64, nAPs int, radius float64, indexed bool, horizon time.Duration) ([]byte, MACStats) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	var buf bytes.Buffer
+	ring := trace.NewRing(0)
+	ring.SpillTo(&buf)
+	eng.SetRecorder(ring)
+	net := buildCity(eng, Params11af(), nAPs, func(n *Network) {
+		if indexed {
+			n.EnableSpatialIndex(cityBounds(nAPs), radius)
+		} else {
+			n.SetSignificanceRadius(radius)
+		}
+	})
+	eng.Run(sim.Time(horizon))
+	if err := ring.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	return buf.Bytes(), net.Stats()
+}
+
+// TestIndexedCSMATraceByteIdentity is the wifi half of the equivalence
+// criterion: with the same seed and significance radius, the
+// grid-indexed network and the brute-force truncated network produce
+// byte-identical trace streams (every backoff draw, TX, failure — the
+// full event schedule) and identical MAC counters.
+func TestIndexedCSMATraceByteIdentity(t *testing.T) {
+	const nAPs, radius = 40, 800.0
+	for seed := int64(1); seed <= 10; seed++ {
+		brute, statsB := runCity(t, seed, nAPs, radius, false, 30*time.Millisecond)
+		indexed, statsI := runCity(t, seed, nAPs, radius, true, 30*time.Millisecond)
+		if statsB != statsI {
+			t.Fatalf("seed %d: stats diverge: brute %+v indexed %+v", seed, statsB, statsI)
+		}
+		if !bytes.Equal(brute, indexed) {
+			t.Fatalf("seed %d: trace streams diverge (%d vs %d bytes)", seed, len(brute), len(indexed))
+		}
+		if statsB.TXOPs == 0 {
+			t.Fatalf("seed %d: vacuous run, no TXOPs completed", seed)
+		}
+	}
+}
+
+// A radius beyond every pairwise distance must reproduce the historical
+// all-pairs behavior exactly — truncation with nothing to truncate.
+func TestTruncationVacuousAtLargeRadius(t *testing.T) {
+	const nAPs = 12
+	full, statsF := runCity(t, 2, nAPs, 0, false, 30*time.Millisecond)
+	huge, statsH := runCity(t, 2, nAPs, 1e9, true, 30*time.Millisecond)
+	if statsF != statsH {
+		t.Fatalf("stats diverge: full %+v truncated-at-1e9 %+v", statsF, statsH)
+	}
+	if !bytes.Equal(full, huge) {
+		t.Fatalf("trace streams diverge (%d vs %d bytes)", len(full), len(huge))
+	}
+}
+
+// The indexed CSMA loop must stay allocation-free in steady state, grid
+// queries included.
+func TestIndexedCSMAZeroAllocs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	buildCity(eng, Params11af(), 40, func(n *Network) {
+		n.EnableSpatialIndex(cityBounds(40), 800)
+	})
+	horizon := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		horizon += sim.Time(time.Millisecond)
+		eng.Run(horizon)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		horizon += sim.Time(time.Millisecond)
+		eng.Run(horizon)
+	})
+	if avg != 0 {
+		t.Fatalf("indexed CSMA loop allocates %.2f times per ms in steady state", avg)
+	}
+}
+
+// The O(N) vs O(neighborhood) contrast on the CSMA plane, at the three
+// AP scales the regression gate tracks. "brute" is the historical
+// all-node scan (no truncation); "indexed" runs the same city through
+// the grid at an 800 m significance radius.
+func BenchmarkWifiCSMACity(b *testing.B) {
+	for _, nAPs := range []int{10, 100, 1000} {
+		for _, mode := range []string{"brute", "indexed"} {
+			b.Run(fmt.Sprintf("%s/N=%d", mode, nAPs), func(b *testing.B) {
+				eng := sim.NewEngine(1)
+				indexed := mode == "indexed"
+				buildCity(eng, Params11af(), nAPs, func(n *Network) {
+					if indexed {
+						n.EnableSpatialIndex(cityBounds(nAPs), 800)
+					}
+				})
+				horizon := sim.Time(0)
+				for i := 0; i < 20; i++ { // warm pools and caches
+					horizon += sim.Time(time.Millisecond)
+					eng.Run(horizon)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					horizon += sim.Time(time.Millisecond)
+					eng.Run(horizon)
+				}
+			})
+		}
+	}
+}

@@ -131,6 +131,40 @@ else
 	echo "benchdiff: no $PAWS_BASELINE; skipping spectrum-database comparison"
 fi
 
+# City-scale baseline (examples/metro: 2,000 APs / 100k UEs, one full
+# diurnal cycle, single-threaded). Two gates: the absolute
+# faster-than-real-time floor (sim_realtime_factor >= 1 no matter what
+# the baseline says), and the usual regression tolerance against the
+# committed factor. The artifact test itself additionally enforces
+# 0 allocs/op on the grid query and the steady-state metro epoch.
+CITY_BASELINE=${CITY_BASELINE:-BENCH_city.json}
+if [ -f "$CITY_BASELINE" ]; then
+	base_rt=$(read_top "$CITY_BASELINE" sim_realtime_factor)
+	if [ -z "$base_rt" ]; then
+		echo "benchdiff: could not read sim_realtime_factor from $CITY_BASELINE" >&2
+		fail=1
+	else
+		echo "== benchdiff: re-measuring the city-scale world (full diurnal cycle, ~1-2 min)"
+		CITY_BENCH_OUT="$tmp/city.json" go test -run TestCityBenchArtifact -count 1 -timeout 20m . >/dev/null
+		cur_rt=$(read_top "$tmp/city.json" sim_realtime_factor)
+		awk -v cur="$cur_rt" -v base="$base_rt" -v tol="$TOLERANCE_PCT" 'BEGIN {
+			ratio = cur / base * 100
+			printf "benchdiff: city realtime baseline %.1fx, current %.1fx (%.1f%%, floor %d%%)\n",
+				base, cur, ratio, 100 - tol
+			if (cur < 1) {
+				printf "benchdiff: FAIL — city no longer simulates faster than real time (%.2fx)\n", cur
+				exit 1
+			}
+			if (ratio < 100 - tol) {
+				printf "benchdiff: FAIL — city realtime factor regressed more than %d%%\n", tol
+				exit 1
+			}
+		}' || fail=1
+	fi
+else
+	echo "benchdiff: no $CITY_BASELINE; skipping city-scale comparison"
+fi
+
 if [ "$fail" -ne 0 ]; then
 	echo "benchdiff: FAIL"
 	exit 1

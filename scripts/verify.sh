@@ -58,6 +58,20 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	./scripts/benchdiff.sh
 fi
 
+# Optional city-scale stage: VERIFY_CITY=1 runs the spatial-index
+# equivalence suites (netsim indexed-vs-brute trace identity, the metro
+# SoA world) plus the city baseline gate: the full-cycle metro scenario
+# must simulate faster than real time with a 0-alloc grid query, and
+# must not regress versus the committed BENCH_city.json.
+if [ "${VERIFY_CITY:-0}" = "1" ]; then
+	echo "== go test (geo, stats, metro, netsim equivalence)"
+	go test ./internal/geo ./internal/stats ./internal/metro ./internal/netsim
+	echo "== city baseline gate (BENCH_city.json)"
+	city_out=$(mktemp)
+	CITY_BENCH_OUT="$city_out" go test -run TestCityBenchArtifact -count 1 -timeout 20m .
+	rm -f "$city_out"
+fi
+
 # Optional spectrum-database stage: VERIFY_PAWS=1 runs the pawsdb and
 # load-harness suites (index/cache equivalence, lease wheel, fleet
 # vacate-under-failover) under the race detector.
