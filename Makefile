@@ -50,7 +50,8 @@ fuzz-short:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 100ms -run '^$$' \
 		./internal/sim ./internal/propagation ./internal/wifi ./internal/lte \
-		./internal/runner ./internal/geo ./internal/stats ./internal/metro
+		./internal/runner ./internal/geo ./internal/stats ./internal/metro \
+		./internal/shard
 
 # Regenerate the committed engine benchmark artifact (also enforces
 # 0 allocs/op on Schedule+fire and the >=2x speedup floor).
@@ -79,6 +80,13 @@ BENCH_paws.json: FORCE
 # steady-state metro epoch, and indexed-beats-brute SINR at N=1000.
 BENCH_city.json: FORCE
 	CITY_BENCH_OUT=$(CURDIR)/BENCH_city.json $(GO) test -run TestCityBenchArtifact -count 1 -v -timeout 20m .
+
+# Regenerate the committed sharded-execution baseline: the metro city at
+# K in {1, 2, 4, 8} shards. Enforces 0 allocs/op on the lockstep barrier
+# path, identical attached-count telemetry at every K, and — on machines
+# with >= 8 cores — a >= 3x speedup at K=8.
+BENCH_shard.json: FORCE
+	SHARD_BENCH_OUT=$(CURDIR)/BENCH_shard.json $(GO) test -run TestShardBenchArtifact -count 1 -v -timeout 20m .
 
 FORCE:
 

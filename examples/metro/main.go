@@ -8,7 +8,12 @@
 // from bounded-memory streaming aggregates, so memory stays flat no
 // matter how long the city runs.
 //
-//	go run ./examples/metro [-epochs N] [-seed S] [-json]
+// With -shards K > 1 the same world runs on K region shards in
+// conservative lockstep windows, one engine per core; the integer epoch
+// telemetry is identical at every K (see DESIGN.md, "Sharded execution
+// and the determinism contract").
+//
+//	go run ./examples/metro [-epochs N] [-seed S] [-shards K] [-json]
 package main
 
 import (
@@ -24,12 +29,15 @@ import (
 func main() {
 	epochs := flag.Int("epochs", 240, "simulated seconds (one diurnal cycle = 240)")
 	seed := flag.Int64("seed", 1, "world seed")
+	shards := flag.Int("shards", 1, "region shards (1 = single-threaded direct path)")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of text")
 	flag.Parse()
 
 	cfg := metro.DefaultCity(*seed)
+	cfg.Shards = *shards
 	buildStart := time.Now()
 	w := metro.New(cfg)
+	defer w.Close()
 	buildWall := time.Since(buildStart)
 
 	simStart := time.Now()
@@ -42,6 +50,7 @@ func main() {
 		"ues":                 cfg.NUEs,
 		"area_km2":            cfg.AreaW * cfg.AreaH / 1e6,
 		"epochs":              *epochs,
+		"shards":              cfg.Shards,
 		"build_ms":            buildWall.Milliseconds(),
 		"sim_wall_ms":         simWall.Milliseconds(),
 		"sim_realtime_factor": realtime,
@@ -51,6 +60,12 @@ func main() {
 		"ue_mbps_mean":        w.Throughput.Mean(),
 		"ue_mbps_p50":         w.ThroughputQ.Quantile(0.5),
 		"ue_mbps_p95":         w.ThroughputQ.Quantile(0.95),
+	}
+	if st, ok := w.ShardStats(); ok {
+		summary["shard_windows"] = st.Windows
+		summary["shard_utilization"] = st.Utilization()
+		summary["shard_barrier_stall_ms"] = st.BarrierStallMS()
+		summary["cross_shard_messages"] = st.Msgs
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -65,13 +80,25 @@ func main() {
 	fmt.Printf("metro: %d APs, %d UEs on %.0f km²\n",
 		cfg.NAPs, cfg.NUEs, cfg.AreaW*cfg.AreaH/1e6)
 	fmt.Printf("built world in %v\n", buildWall.Round(time.Millisecond))
-	fmt.Printf("simulated %d s in %v — %.1fx real time, single-threaded\n",
-		*epochs, simWall.Round(time.Millisecond), realtime)
+	mode := "single-threaded"
+	if cfg.Shards > 1 {
+		mode = fmt.Sprintf("%d shards", cfg.Shards)
+	}
+	fmt.Printf("simulated %d s in %v — %.1fx real time, %s\n",
+		*epochs, simWall.Round(time.Millisecond), realtime, mode)
 	fmt.Printf("attached: %.0f mean / %.0f peak UEs\n",
 		w.Attached.Mean(), w.Attached.Max())
 	fmt.Printf("delivered: %.1f Gbit total\n", float64(w.DeliveredBits())/1e9)
 	fmt.Printf("per-UE throughput: %.2f Mbps mean, %.2f p50, %.2f p95\n",
 		w.Throughput.Mean(), w.ThroughputQ.Quantile(0.5), w.ThroughputQ.Quantile(0.95))
+	if st, ok := w.ShardStats(); ok {
+		fmt.Printf("shards: %d windows, %.1f ms total barrier stall, utilization",
+			st.Windows, st.BarrierStallMS())
+		for _, u := range st.Utilization() {
+			fmt.Printf(" %.0f%%", u*100)
+		}
+		fmt.Println()
+	}
 	if realtime < 1 {
 		fmt.Println("WARNING: slower than real time")
 		os.Exit(1)

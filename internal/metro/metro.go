@@ -1,6 +1,7 @@
 // Package metro simulates one city-scale CellFi deployment — thousands
 // of access points and 100k+ UEs in a single world — fast enough to
-// outrun the wall clock on one core.
+// outrun the wall clock on one core, and across many cores without
+// giving up determinism.
 //
 // The epoch simulator in internal/netsim keeps per-object structs and
 // dense [cells][clients] budget matrices; at 2,000 APs x 100k UEs that
@@ -20,22 +21,84 @@
 //     (stats.StreamStat, stats.QuantileSketch) instead of retained
 //     samples.
 //
-// Determinism mirrors the rest of the repo: with UseSpatialIndex off,
-// neighbor rows are rebuilt by brute-force scans truncated with the
-// identical inclusive r^2 predicate, visiting APs in ascending index
-// order — byte-identical results, used by the equivalence tests.
+// # Sharded execution
+//
+// With Config.Shards > 1 the city is cut into vertical slabs of equal
+// width and driven by an internal/shard cluster: each slab owns the UEs
+// inside it and runs its epoch phases on its own goroutine, in
+// conservative 250 ms windows. One 1-second epoch is four windows:
+//
+//	t+0    attach/detach walk over the shard's slice of the global
+//	       attach permutation (per-AP load changes accumulate in
+//	       per-shard delta arrays, folded into the shared load table
+//	       at the barrier)
+//	t+250  mobility for the epoch's cohort; a UE stepping across a slab
+//	       boundary stages a handoff Msg to the new owner, applied at
+//	       the barrier
+//	t+500  the SINR/throughput sweep over owned attached UEs
+//	t+750  (fold, single-threaded) load deltas and per-shard aggregates
+//	       merge, streaming stats recompute, trace records emit, the
+//	       epoch counter advances and incumbent arrivals/departures for
+//	       the next epoch apply
+//
+// Every quantity that crosses a shard boundary is either an integer
+// delta (commutative, so fold order cannot matter) or a handoff whose
+// effect is a single ownership byte — which is why the same seed and
+// config produce byte-identical trace streams and per-UE state at ANY
+// shard count, including the unsharded direct path. The 50-seed
+// equivalence test in shard_equivalence_test.go pins that contract.
+//
+// Determinism within one mode mirrors the rest of the repo: with
+// UseSpatialIndex off, neighbor rows are rebuilt by brute-force scans
+// truncated with the identical inclusive r^2 predicate, visiting APs in
+// ascending index order — byte-identical results, used by the
+// equivalence tests.
 package metro
 
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"cellfi/internal/geo"
 	"cellfi/internal/lte"
 	"cellfi/internal/phy"
 	"cellfi/internal/propagation"
+	"cellfi/internal/shard"
+	"cellfi/internal/sim"
 	"cellfi/internal/stats"
+	"cellfi/internal/trace"
 )
+
+// Phase offsets inside one 1-second epoch; shardWindow is the
+// conservative lookahead of the cluster (see package doc).
+const (
+	epochDur    = time.Second
+	shardWindow = 250 * time.Millisecond
+	offAttach   = 0
+	offMobility = 250 * time.Millisecond
+	offSweep    = 500 * time.Millisecond
+	offFold     = 750 * time.Millisecond
+)
+
+// Cross-shard message kinds.
+const (
+	// msgHandoff transfers ownership of a UE that walked across a slab
+	// boundary. Args: UE index, new owner shard.
+	msgHandoff int32 = iota + 1
+)
+
+// IncumbentEvent is a primary-user pop-up: at Epoch, every AP within
+// RadiusM of (X, Y) falls silent (no signal, no interference) until the
+// incumbent departs Duration epochs later; Duration <= 0 keeps it on
+// the air forever. Overlapping incumbents nest (an AP is silent while
+// covered by at least one).
+type IncumbentEvent struct {
+	Epoch    int64
+	Duration int64
+	X, Y     float64
+	RadiusM  float64
+}
 
 // Config sizes a metro world.
 type Config struct {
@@ -69,6 +132,13 @@ type Config struct {
 	// epoch at SpeedMps.
 	MoveFraction float64
 	SpeedMps     float64
+	// Shards > 1 runs the world on a conservative parallel cluster of
+	// that many vertical slabs (see package doc); 0 or 1 runs the
+	// classic single-threaded direct path. Results are byte-identical
+	// either way.
+	Shards int
+	// Incumbents are scheduled primary-user pop-ups.
+	Incumbents []IncumbentEvent
 }
 
 // DefaultCity returns the headline scenario: 2,000 APs and 100k UEs on
@@ -94,6 +164,29 @@ func DefaultCity(seed int64) Config {
 	}
 }
 
+// shardCtx is the per-shard working set: scratch, per-AP load deltas
+// staged during a window, per-epoch integer aggregates, and the shard's
+// slice of the streaming stats. The direct path uses sctx[0] with loads
+// applied inline.
+type shardCtx struct {
+	scratch   []int32
+	loadDelta []int32 // per-AP attach/handover deltas, folded at barriers
+
+	handovers int64 // this epoch
+	served    int64 // bits delivered this epoch
+	cqiSum    int64 // sum of attached UEs' CQI this epoch
+
+	thr  stats.StreamStat
+	thrQ *stats.QuantileSketch
+}
+
+// incChange is one precomputed incumbent timeline entry.
+type incChange struct {
+	epoch  int64
+	idx    int32
+	arrive bool
+}
+
 // World is one instantiated city. All per-UE state is SoA.
 type World struct {
 	Cfg   Config
@@ -102,13 +195,15 @@ type World struct {
 
 	// Access points (static).
 	apX, apY []float64
-	apLoad   []int32 // attached UEs per AP
+	apLoad   []int32 // attached UEs per AP (shared; written only at barriers when sharded)
 	grid     *geo.Grid
 
 	// UE state, dense SoA.
 	ueX, ueY     []float64
 	ueWpX, ueWpY []float64 // random-waypoint targets
+	ueWpN        []uint32  // waypoints consumed (per-UE counter-hash stream)
 	ueCell       []int32   // serving AP, -1 when out of coverage
+	ueShard      []uint8   // owning slab; all zero on the direct path
 	ueAttached   []bool
 	ueQueued     []int64
 	ueDelivered  []int64
@@ -118,11 +213,10 @@ type World struct {
 	// row u occupies [u*K, u*K+nbrN[u]). nbrRxMW is the mean rx power
 	// of that AP at the UE in milliwatts (path loss + shadowing, no
 	// fast fading); nbrLink caches the fading LinkID.
-	nbrAP      []int32
-	nbrRxMW    []float64
-	nbrLink    []uint64
-	nbrN       []uint16
-	nbrScratch []int32
+	nbrAP   []int32
+	nbrRxMW []float64
+	nbrLink []uint64
+	nbrN    []uint16
 
 	rng     *rand.Rand
 	epoch   int64
@@ -131,18 +225,40 @@ type World struct {
 	rateBps [16]float64
 	sc      int // the evaluated subchannel
 
-	// Streaming aggregates over the whole run (bounded memory).
+	// Streaming aggregates over the whole run (bounded memory). When
+	// sharded they are recomputed at every epoch fold from per-shard
+	// partials; exact values then depend on the partition (float
+	// summation order), unlike the integer trace aggregates.
 	Throughput    stats.StreamStat      // per-UE Mbps, one sample per attached UE per epoch
 	ThroughputQ   *stats.QuantileSketch // same stream, quantiles
 	Attached      stats.StreamStat      // attached count per epoch
 	attachSeq     []int32               // diurnal attach order (permutation)
 	attachedCount int32
+
+	// Incumbent machinery.
+	apDownCnt   []int32 // >0: AP silenced by that many incumbents
+	incTimeline []incChange
+	incNext     int
+	hasInc      bool
+
+	// Execution plumbing.
+	direct  bool
+	cluster *shard.Cluster
+	sctx    []*shardCtx
+	slabW   float64
+	started bool
+	rec     trace.Recorder
 }
 
-// New builds the world: AP placement, UE scatter, adjacency rows.
+// New builds the world: AP placement, UE scatter, adjacency rows, and —
+// when Cfg.Shards > 1 — the shard cluster with its per-epoch phase
+// events. Call Close to release the cluster's worker goroutines.
 func New(cfg Config) *World {
 	if cfg.MaxNeighbors <= 0 {
 		cfg.MaxNeighbors = 32
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
 	w := &World{
 		Cfg:         cfg,
@@ -150,12 +266,23 @@ func New(cfg Config) *World {
 		fade:        propagation.NewFading(cfg.Seed + 1),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		ThroughputQ: stats.NewQuantileSketch(0),
+		direct:      cfg.Shards <= 1,
+		slabW:       cfg.AreaW / float64(cfg.Shards),
+		hasInc:      len(cfg.Incumbents) > 0,
+	}
+	w.sctx = make([]*shardCtx, cfg.Shards)
+	for i := range w.sctx {
+		w.sctx[i] = &shardCtx{
+			loadDelta: make([]int32, cfg.NAPs),
+			thrQ:      stats.NewQuantileSketch(0),
+		}
 	}
 	area := geo.Rect{MinX: 0, MinY: 0, MaxX: cfg.AreaW, MaxY: cfg.AreaH}
 	aps := geo.MinSpacedPoints(w.rng, area, cfg.NAPs, cfg.APSpacingM)
 	w.apX = make([]float64, cfg.NAPs)
 	w.apY = make([]float64, cfg.NAPs)
 	w.apLoad = make([]int32, cfg.NAPs)
+	w.apDownCnt = make([]int32, cfg.NAPs)
 	for i, p := range aps {
 		w.apX[i], w.apY[i] = p.X, p.Y
 	}
@@ -171,7 +298,9 @@ func New(cfg Config) *World {
 	w.ueY = make([]float64, n)
 	w.ueWpX = make([]float64, n)
 	w.ueWpY = make([]float64, n)
+	w.ueWpN = make([]uint32, n)
 	w.ueCell = make([]int32, n)
+	w.ueShard = make([]uint8, n)
 	w.ueAttached = make([]bool, n)
 	w.ueQueued = make([]int64, n)
 	w.ueDelivered = make([]int64, n)
@@ -185,7 +314,8 @@ func New(cfg Config) *World {
 		q := area.RandomPoint(w.rng)
 		w.ueX[u], w.ueY[u] = p.X, p.Y
 		w.ueWpX[u], w.ueWpY[u] = q.X, q.Y
-		w.rebuildRow(u)
+		w.ueShard[u] = uint8(w.slabOf(p.X))
+		w.rebuildRow(u, w.sctx[0])
 	}
 	w.attachSeq = make([]int32, n)
 	for i, v := range w.rng.Perm(n) {
@@ -198,14 +328,115 @@ func New(cfg Config) *World {
 		w.rateBps[cqi] = lte.SubchannelRateBps(bw, tdd, w.sc, cqi)
 	}
 	w.noiseMW = propagation.DBmToMW(propagation.NoiseDBm(bw.SubchannelHz(w.sc), 7))
+
+	w.incTimeline = buildIncTimeline(cfg.Incumbents)
+
+	if !w.direct {
+		w.cluster = shard.New(shard.Config{
+			Shards:      cfg.Shards,
+			Window:      shardWindow,
+			Seed:        cfg.Seed,
+			Handler:     w.handleMsg,
+			AfterWindow: w.afterWindow,
+		})
+		for s := 0; s < cfg.Shards; s++ {
+			w.scheduleShard(s)
+		}
+	}
 	return w
+}
+
+// buildIncTimeline flattens incumbent events into a sorted change list:
+// (epoch asc, arrivals before departures, event index asc) — one fixed
+// application order shared by the direct and sharded paths.
+func buildIncTimeline(evs []IncumbentEvent) []incChange {
+	if len(evs) == 0 {
+		return nil
+	}
+	tl := make([]incChange, 0, 2*len(evs))
+	for i, ev := range evs {
+		tl = append(tl, incChange{epoch: ev.Epoch, idx: int32(i), arrive: true})
+		if ev.Duration > 0 {
+			tl = append(tl, incChange{epoch: ev.Epoch + ev.Duration, idx: int32(i), arrive: false})
+		}
+	}
+	for i := 1; i < len(tl); i++ { // insertion sort: tiny, stable-by-construction keys
+		for j := i; j > 0; j-- {
+			a, b := tl[j-1], tl[j]
+			if a.epoch < b.epoch ||
+				(a.epoch == b.epoch && a.arrive && !b.arrive) ||
+				(a.epoch == b.epoch && a.arrive == b.arrive && a.idx < b.idx) {
+				break
+			}
+			tl[j-1], tl[j] = b, a
+		}
+	}
+	return tl
+}
+
+// slabOf maps an x coordinate to its owning shard.
+func (w *World) slabOf(x float64) int {
+	s := int(x / w.slabW)
+	if s < 0 {
+		s = 0
+	}
+	if s >= w.Cfg.Shards {
+		s = w.Cfg.Shards - 1
+	}
+	return s
+}
+
+// scheduleShard installs shard s's three self-rescheduling epoch phase
+// events (the fold is the cluster's AfterWindow, not an event).
+func (w *World) scheduleShard(s int) {
+	e := w.cluster.Shard(s).Engine
+	var attach, mob, sweep func()
+	attach = func() { w.attachPhase(s); e.Schedule(e.Now()+epochDur, attach) }
+	mob = func() { w.mobilityPhase(s); e.Schedule(e.Now()+epochDur, mob) }
+	sweep = func() { w.sweepPhase(s); e.Schedule(e.Now()+epochDur, sweep) }
+	e.Schedule(offAttach, attach)
+	e.Schedule(offMobility, mob)
+	e.Schedule(offSweep, sweep)
+}
+
+// handleMsg applies cross-shard messages at barriers (single-threaded,
+// merged (At, Src, Seq) order).
+func (w *World) handleMsg(dst int, m shard.Msg) {
+	switch m.Kind {
+	case msgHandoff:
+		w.ueShard[m.Args[0]] = uint8(m.Args[1])
+	}
+}
+
+// afterWindow is the cluster fold hook: load deltas apply at every
+// barrier; the window ending at t+750 ms additionally runs the epoch
+// fold.
+func (w *World) afterWindow(end sim.Time) {
+	w.foldLoads()
+	if end%epochDur == offFold {
+		w.epochFold()
+	}
+}
+
+// foldLoads applies and clears every shard's per-AP load deltas, in
+// shard order. Integer addition commutes, so the folded loads are
+// identical to the direct path's inline bookkeeping.
+func (w *World) foldLoads() {
+	for _, sc := range w.sctx {
+		for a, d := range sc.loadDelta {
+			if d != 0 {
+				w.apLoad[a] += d
+				sc.loadDelta[a] = 0
+			}
+		}
+	}
 }
 
 // rebuildRow recomputes UE u's adjacency row and serving AP from its
 // current position — the only place link budgets are evaluated, run at
 // construction and after a mobility step. Both enumeration modes visit
 // APs in ascending index order under the same inclusive r^2 predicate.
-func (w *World) rebuildRow(u int) {
+func (w *World) rebuildRow(u int, sc *shardCtx) {
 	k := w.Cfg.MaxNeighbors
 	base := u * k
 	r2 := w.Cfg.RadiusM * w.Cfg.RadiusM
@@ -223,8 +454,8 @@ func (w *World) rebuildRow(u int) {
 		cnt++
 	}
 	if w.grid != nil {
-		w.nbrScratch = w.grid.AppendWithin(w.nbrScratch[:0], pos, w.Cfg.RadiusM)
-		for _, a := range w.nbrScratch {
+		sc.scratch = w.grid.AppendWithin(sc.scratch[:0], pos, w.Cfg.RadiusM)
+		for _, a := range sc.scratch {
 			consider(a)
 		}
 	} else {
@@ -248,11 +479,21 @@ func (w *World) rebuildRow(u int) {
 	}
 	w.ueCell[u] = best
 	if w.ueAttached[u] && oldCell != best {
-		if oldCell >= 0 {
-			w.apLoad[oldCell]--
-		}
-		if best >= 0 {
-			w.apLoad[best]++
+		sc.handovers++
+		if w.direct {
+			if oldCell >= 0 {
+				w.apLoad[oldCell]--
+			}
+			if best >= 0 {
+				w.apLoad[best]++
+			}
+		} else {
+			if oldCell >= 0 {
+				sc.loadDelta[oldCell]--
+			}
+			if best >= 0 {
+				sc.loadDelta[best]++
+			}
 		}
 	}
 }
@@ -265,100 +506,72 @@ func (w *World) loadFrac(epoch int64) float64 {
 	return cfg.MinLoadFrac + (cfg.MaxLoadFrac-cfg.MinLoadFrac)*0.5*(1-math.Cos(phase))
 }
 
-// Step advances one 1-second epoch: diurnal attach/detach, mobility,
-// then the cache-linear SINR/throughput sweep.
-func (w *World) Step() {
-	cfg := &w.Cfg
-	w.stepAttach()
-	w.stepMobility()
-
-	tMS := w.epoch * 1000
-	k := cfg.MaxNeighbors
-	for u := 0; u < cfg.NUEs; u++ {
-		if !w.ueAttached[u] {
-			continue
-		}
-		serving := w.ueCell[u]
-		if serving < 0 {
-			w.ueCQI[u] = 0
-			w.Throughput.Add(0)
-			w.ThroughputQ.Add(0)
-			continue
-		}
-		base := u * k
-		n := int(w.nbrN[u])
-		var sig float64
-		den := w.noiseMW
-		for i := 0; i < n; i++ {
-			g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
-			p := w.nbrRxMW[base+i] * g
-			if w.nbrAP[base+i] == serving {
-				sig = p
-			} else {
-				den += p
-			}
-		}
-		sinrDB := 10 * math.Log10(sig/den)
-		cqi := phy.LTECQIFromSINR(sinrDB)
-		w.ueCQI[u] = uint8(cqi)
-		rate := w.rateBps[cqi] / float64(w.apLoad[serving])
-		served := int64(rate)
-		if served > w.ueQueued[u] {
-			served = w.ueQueued[u]
-		}
-		w.ueQueued[u] -= served
-		w.ueDelivered[u] += served
-		mbps := float64(served) / 1e6
-		w.Throughput.Add(mbps)
-		w.ThroughputQ.Add(mbps)
-	}
-	w.epoch++
+// attachTarget is the attached population after epoch's attach phase —
+// a pure function of the epoch, which is what lets every shard walk its
+// slice of the permutation without coordination.
+func (w *World) attachTarget(epoch int64) int {
+	return int(w.loadFrac(epoch) * float64(w.Cfg.NUEs))
 }
 
-// stepAttach moves the attached population toward the diurnal target.
-// Attach order is a fixed seed-derived permutation, so the attached set
-// at any epoch is deterministic.
-func (w *World) stepAttach() {
-	target := int(w.loadFrac(w.epoch) * float64(w.Cfg.NUEs))
-	attached := int(w.attachedCount)
-	for attached < target {
-		u := w.attachSeq[attached]
+// attachPhase moves shard s's share of the attached population toward
+// the diurnal target. All shards walk the same global permutation range
+// [attachedCount, target) and act only on owned UEs.
+func (w *World) attachPhase(s int) {
+	target := w.attachTarget(w.epoch)
+	prev := int(w.attachedCount)
+	sc := w.sctx[s]
+	own := uint8(s)
+	for i := prev; i < target; i++ {
+		u := w.attachSeq[i]
+		if w.ueShard[u] != own {
+			continue
+		}
 		w.ueAttached[u] = true
 		w.ueQueued[u] = 1 << 40 // backlogged
-		if w.ueCell[u] >= 0 {
-			w.apLoad[w.ueCell[u]]++
+		if c := w.ueCell[u]; c >= 0 {
+			if w.direct {
+				w.apLoad[c]++
+			} else {
+				sc.loadDelta[c]++
+			}
 		}
-		attached++
 	}
-	for attached > target {
-		attached--
-		u := w.attachSeq[attached]
+	for i := prev - 1; i >= target; i-- {
+		u := w.attachSeq[i]
+		if w.ueShard[u] != own {
+			continue
+		}
 		w.ueAttached[u] = false
-		if w.ueCell[u] >= 0 {
-			w.apLoad[w.ueCell[u]]--
+		if c := w.ueCell[u]; c >= 0 {
+			if w.direct {
+				w.apLoad[c]--
+			} else {
+				sc.loadDelta[c]--
+			}
 		}
 	}
-	w.attachedCount = int32(attached)
-	w.Attached.Add(float64(attached))
 }
 
-// stepMobility advances random-waypoint walks for a deterministic
-// subset of attached UEs and rebuilds their adjacency rows (grid-backed
-// membership update + partial link-budget refresh — the mobility half
-// of the invalidation contract).
-func (w *World) stepMobility() {
+// mobilityPhase advances random-waypoint walks for shard s's members of
+// the epoch's deterministic cohort and rebuilds their adjacency rows.
+// Fresh waypoints come from a per-UE counter hash — not a shared RNG —
+// so the draw a UE sees is independent of which shard moves it and of
+// how many other UEs moved first.
+func (w *World) mobilityPhase(s int) {
 	cfg := &w.Cfg
 	if cfg.MoveFraction <= 0 {
 		return
 	}
 	// A rotating deterministic cohort moves each epoch: identical in
-	// both neighbor-enumeration modes, no per-UE RNG draw in the sweep.
+	// both neighbor-enumeration modes and at every shard count.
 	stride := int64(1)
 	if cfg.MoveFraction < 1 {
 		stride = int64(1 / cfg.MoveFraction)
 	}
+	sc := w.sctx[s]
+	own := uint8(s)
 	for u := int(w.epoch % stride); u < cfg.NUEs; u += int(stride) {
-		if !w.ueAttached[u] {
+		if w.ueShard[u] != own || !w.ueAttached[u] {
 			continue
 		}
 		dx, dy := w.ueWpX[u]-w.ueX[u], w.ueWpY[u]-w.ueY[u]
@@ -366,21 +579,254 @@ func (w *World) stepMobility() {
 		step := cfg.SpeedMps * float64(stride) // cohort moves every stride epochs
 		if d <= step {
 			w.ueX[u], w.ueY[u] = w.ueWpX[u], w.ueWpY[u]
-			w.ueWpX[u] = w.rng.Float64() * cfg.AreaW
-			w.ueWpY[u] = w.rng.Float64() * cfg.AreaH
+			w.ueWpN[u]++
+			fx, fy := waypointAt(cfg.Seed, u, w.ueWpN[u])
+			w.ueWpX[u] = fx * cfg.AreaW
+			w.ueWpY[u] = fy * cfg.AreaH
 		} else {
 			w.ueX[u] += step * dx / d
 			w.ueY[u] += step * dy / d
 		}
-		w.rebuildRow(u)
+		w.rebuildRow(u, sc)
+		if !w.direct {
+			if ns := w.slabOf(w.ueX[u]); ns != s {
+				sh := w.cluster.Shard(s)
+				sh.Send(shard.Msg{
+					At:   sh.Engine.Now() + shardWindow,
+					Dst:  int32(ns),
+					Kind: msgHandoff,
+					Args: [4]int64{int64(u), int64(ns)},
+				})
+			}
+		}
 	}
+}
+
+// waypointAt returns UE u's n-th waypoint as a pair of [0,1) fractions,
+// from a SplitMix64-style counter hash of (seed, u, n).
+func waypointAt(seed int64, u int, n uint32) (fx, fy float64) {
+	h := mix64(uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(u)<<20 ^ uint64(n))
+	h2 := mix64(h)
+	return float64(h>>11) / (1 << 53), float64(h2>>11) / (1 << 53)
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sweepPhase is the cache-linear SINR/throughput sweep over shard s's
+// attached UEs. It reads the shared load and incumbent tables (frozen
+// during windows) and writes only owned per-UE slots and the shard's
+// own aggregates.
+func (w *World) sweepPhase(s int) {
+	cfg := &w.Cfg
+	sc := w.sctx[s]
+	own := uint8(s)
+	tMS := w.epoch * 1000
+	k := cfg.MaxNeighbors
+	for u := 0; u < cfg.NUEs; u++ {
+		if w.ueShard[u] != own || !w.ueAttached[u] {
+			continue
+		}
+		serving := w.ueCell[u]
+		if serving < 0 {
+			w.ueCQI[u] = 0
+			w.addSample(sc, 0)
+			continue
+		}
+		base := u * k
+		n := int(w.nbrN[u])
+		var sig float64
+		den := w.noiseMW
+		if w.hasInc {
+			for i := 0; i < n; i++ {
+				a := w.nbrAP[base+i]
+				if w.apDownCnt[a] > 0 {
+					continue // incumbent-silenced: no signal, no interference
+				}
+				g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
+				p := w.nbrRxMW[base+i] * g
+				if a == serving {
+					sig = p
+				} else {
+					den += p
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
+				p := w.nbrRxMW[base+i] * g
+				if w.nbrAP[base+i] == serving {
+					sig = p
+				} else {
+					den += p
+				}
+			}
+		}
+		if sig == 0 { // serving AP silenced by an incumbent
+			w.ueCQI[u] = 0
+			w.addSample(sc, 0)
+			continue
+		}
+		sinrDB := 10 * math.Log10(sig/den)
+		cqi := phy.LTECQIFromSINR(sinrDB)
+		w.ueCQI[u] = uint8(cqi)
+		sc.cqiSum += int64(cqi)
+		rate := w.rateBps[cqi] / float64(w.apLoad[serving])
+		served := int64(rate)
+		if served > w.ueQueued[u] {
+			served = w.ueQueued[u]
+		}
+		w.ueQueued[u] -= served
+		w.ueDelivered[u] += served
+		sc.served += served
+		w.addSample(sc, float64(served)/1e6)
+	}
+}
+
+// addSample records one per-UE throughput observation: straight into
+// the world aggregates on the direct path, into the shard partial when
+// sharded (merged at the fold).
+func (w *World) addSample(sc *shardCtx, mbps float64) {
+	if w.direct {
+		w.Throughput.Add(mbps)
+		w.ThroughputQ.Add(mbps)
+	} else {
+		sc.thr.Add(mbps)
+		sc.thrQ.Add(mbps)
+	}
+}
+
+// epochFold closes one epoch, single-threaded: commit the attach
+// target, merge per-shard aggregates, emit trace records, advance the
+// epoch and apply the next epoch's incumbent changes.
+func (w *World) epochFold() {
+	target := w.attachTarget(w.epoch)
+	w.attachedCount = int32(target)
+	w.Attached.Add(float64(target))
+	if !w.direct {
+		w.Throughput = stats.StreamStat{}
+		w.ThroughputQ.Reset()
+	}
+	var hand, served, cqis int64
+	for _, sc := range w.sctx {
+		hand += sc.handovers
+		served += sc.served
+		cqis += sc.cqiSum
+		sc.handovers, sc.served, sc.cqiSum = 0, 0, 0
+		if !w.direct {
+			w.Throughput.Merge(sc.thr)
+			w.ThroughputQ.Merge(sc.thrQ)
+		}
+	}
+	if w.rec != nil {
+		w.rec.Record(trace.Record{
+			T:    int64((time.Duration(w.epoch)*epochDur + offFold)),
+			Args: [4]int64{int64(target), hand, served, cqis},
+			AP:   -1,
+			Kind: trace.KindMetroEpoch,
+		})
+	}
+	w.epoch++
+	w.applyIncumbents(w.epoch)
+}
+
+// applyIncumbents replays incumbent timeline changes due at or before
+// epoch: flip the per-AP silence counters and emit one KindIncumbent
+// record per change (Args: event index, 1 = arrive / 0 = depart,
+// affected AP count). Runs at construction/fold time only — never
+// inside a window.
+func (w *World) applyIncumbents(epoch int64) {
+	for w.incNext < len(w.incTimeline) && w.incTimeline[w.incNext].epoch <= epoch {
+		ch := w.incTimeline[w.incNext]
+		w.incNext++
+		ev := w.Cfg.Incumbents[ch.idx]
+		delta, arr := int32(1), int64(1)
+		if !ch.arrive {
+			delta, arr = -1, 0
+		}
+		r2 := ev.RadiusM * ev.RadiusM
+		var n int64
+		for a := range w.apX {
+			dx, dy := w.apX[a]-ev.X, w.apY[a]-ev.Y
+			if dx*dx+dy*dy <= r2 {
+				w.apDownCnt[a] += delta
+				n++
+			}
+		}
+		if w.rec != nil {
+			w.rec.Record(trace.Record{
+				T:    int64(time.Duration(ch.epoch) * epochDur),
+				Args: [4]int64{int64(ch.idx), arr, n},
+				AP:   -1,
+				Kind: trace.KindIncumbent,
+			})
+		}
+	}
+}
+
+// ensureStarted applies epoch-0 incumbents exactly once, after the
+// recorder is attached but before the first phase runs.
+func (w *World) ensureStarted() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.applyIncumbents(0)
+}
+
+// Step advances one 1-second epoch. On the direct path the four phases
+// run inline; sharded worlds advance the cluster by one epoch.
+func (w *World) Step() {
+	if !w.direct {
+		w.Run(1)
+		return
+	}
+	w.ensureStarted()
+	w.attachPhase(0)
+	w.mobilityPhase(0)
+	w.sweepPhase(0)
+	w.epochFold()
 }
 
 // Run advances the world the given number of epochs.
 func (w *World) Run(epochs int) {
-	for i := 0; i < epochs; i++ {
-		w.Step()
+	if w.direct {
+		for i := 0; i < epochs; i++ {
+			w.Step()
+		}
+		return
 	}
+	w.ensureStarted()
+	w.cluster.Run(time.Duration(w.epoch+int64(epochs)) * epochDur)
+}
+
+// Close releases the shard cluster's worker goroutines (no-op on the
+// direct path). The world stays readable.
+func (w *World) Close() {
+	if w.cluster != nil {
+		w.cluster.Close()
+	}
+}
+
+// SetRecorder attaches a flight recorder for KindMetroEpoch /
+// KindIncumbent records. Attach before the first Step/Run; the fold
+// emits single-threaded, so one recorder serves every shard.
+func (w *World) SetRecorder(r trace.Recorder) { w.rec = r }
+
+// ShardStats returns the cluster telemetry snapshot; ok is false on the
+// direct path.
+func (w *World) ShardStats() (st shard.Stats, ok bool) {
+	if w.cluster == nil {
+		return shard.Stats{}, false
+	}
+	return w.cluster.Stats(), true
 }
 
 // Epoch returns the number of completed epochs (== simulated seconds).

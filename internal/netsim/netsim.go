@@ -17,6 +17,7 @@ package netsim
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"cellfi/internal/core"
 	"cellfi/internal/geo"
@@ -25,6 +26,7 @@ import (
 	"cellfi/internal/oracle"
 	"cellfi/internal/phy"
 	"cellfi/internal/propagation"
+	"cellfi/internal/shard"
 	"cellfi/internal/topo"
 	"cellfi/internal/trace"
 )
@@ -120,6 +122,14 @@ type Config struct {
 	// to schemes driven by core.Controller (cellfi, hybrid); the
 	// memoryless random hopper is untraced.
 	Trace trace.Recorder
+	// Shards > 1 runs the fluid-service sweep (the per-epoch hot loop:
+	// cells × clients × subchannels × fading blocks) fork-joined across
+	// that many workers on an internal/shard cluster. Per-client service
+	// is self-contained — each worker owns a contiguous cell range and
+	// every read it shares (link budget, tx masks, fading hashes) is
+	// frozen during the sweep — so results are bit-identical to the
+	// sequential path. Call Network.Close to release the workers.
+	Shards int
 }
 
 // DefaultConfig returns the paper's simulation settings for a scheme.
@@ -204,6 +214,11 @@ type Network struct {
 	cellGrid, clientGrid       *geo.Grid
 	cellScratch, clientScratch []int32
 	activeFlag                 []bool
+
+	// Parallel fluid-service plumbing (Cfg.Shards > 1): a fork-join
+	// cluster plus one grid-query scratch slice per worker.
+	cluster      *shard.Cluster
+	shardScratch [][]int32
 
 	// Hops accumulates controller hops for convergence reporting.
 	Hops int
@@ -295,7 +310,30 @@ func New(t *topo.Topology, cfg Config) *Network {
 	case SchemeOracle:
 		// Computed per epoch from the active-client graph.
 	}
+	if cfg.Shards > 1 {
+		n.cluster = shard.New(shard.Config{
+			Shards: cfg.Shards,
+			Window: time.Second, // unused: the sweep is pure fork-join (Do), never Run
+			Seed:   cfg.Seed,
+		})
+		n.shardScratch = make([][]int32, cfg.Shards)
+	}
 	return n
+}
+
+// Close releases the fork-join workers (no-op without Cfg.Shards). The
+// network stays readable.
+func (n *Network) Close() {
+	if n.cluster != nil {
+		n.cluster.Close()
+	}
+}
+
+// shardRange returns the contiguous cell range worker s owns.
+func (n *Network) shardRange(s int) (lo, hi int) {
+	k := n.cluster.Shards()
+	nCells := len(n.Cells)
+	return s * nCells / k, (s + 1) * nCells / k
 }
 
 func (n *Network) precomputeLinkBudget() {
@@ -363,7 +401,9 @@ func (n *Network) activeClients(i int) []int {
 
 // sinrDB computes the downlink SINR of client c from its cell in
 // subchannel k during fading block b, given per-cell transmit masks.
-func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool) float64 {
+// scratch is the grid-query buffer — per-worker when the fluid sweep
+// runs sharded, so concurrent calls never share it.
+func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool, scratch *[]int32) float64 {
 	cl := n.Clients[c]
 	i := cl.Cell
 	tMS := n.epoch*1000 + b*100
@@ -372,8 +412,8 @@ func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool) float64 {
 	if n.cellGrid != nil {
 		// Grid query returns ascending cell indices — the same order
 		// the scan below visits them — so the float sum is identical.
-		n.cellScratch = n.cellGrid.AppendWithin(n.cellScratch[:0], cl.Pos, n.sigRadius)
-		for _, jj := range n.cellScratch {
+		*scratch = n.cellGrid.AppendWithin((*scratch)[:0], cl.Pos, n.sigRadius)
+		for _, jj := range *scratch {
 			j := int(jj)
 			if j == i || !txMask[j][k] {
 				continue
@@ -470,33 +510,22 @@ func (n *Network) Step() EpochResult {
 
 	// Fluid service: each allowed subchannel's airtime is shared
 	// equally among the cell's active clients; rates average over
-	// fading blocks.
+	// fading blocks. Per-client service is self-contained, so the cell
+	// loop fork-joins across the cluster when Cfg.Shards > 1 — each
+	// worker owns a contiguous cell range (disjoint client sets) and a
+	// private grid scratch, making the parallel sweep bit-identical to
+	// this sequential one.
 	res := EpochResult{ServedBits: make([]int64, len(n.Clients))}
-	blocks := int64(n.Cfg.BlocksPerEpoch)
-	for j := 0; j < nCells; j++ {
-		if len(active[j]) == 0 {
-			continue
-		}
-		nAct := float64(len(active[j]))
-		for _, c := range active[j] {
-			var rate float64 // bits per second for this client
-			for _, k := range n.allowed[j] {
-				var scRate float64
-				for b := int64(0); b < blocks; b++ {
-					cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask))
-					scRate += lte.SubchannelRateBps(n.Cfg.BW, n.Cfg.TDD, k, cqi)
-				}
-				rate += scRate / float64(blocks)
+	if n.cluster != nil {
+		n.cluster.Do(func(s int) {
+			lo, hi := n.shardRange(s)
+			for j := lo; j < hi; j++ {
+				n.serveCell(j, active[j], txMask, res.ServedBits, &n.shardScratch[s])
 			}
-			rate /= nAct
-			served := int64(rate) // 1-second epoch
-			cl := n.Clients[c]
-			if served > cl.QueuedBits {
-				served = cl.QueuedBits
-			}
-			cl.QueuedBits -= served
-			cl.DeliveredBits += served
-			res.ServedBits[c] = served
+		})
+	} else {
+		for j := 0; j < nCells; j++ {
+			n.serveCell(j, active[j], txMask, res.ServedBits, &n.cellScratch)
 		}
 	}
 
@@ -504,6 +533,37 @@ func (n *Network) Step() EpochResult {
 	n.prevActive = active
 	n.epoch++
 	return res
+}
+
+// serveCell delivers one epoch of fluid service to cell j's active
+// clients. It writes only those clients' queue/delivered counters and
+// servedBits slots, so distinct cells may be served concurrently.
+func (n *Network) serveCell(j int, active []int, txMask [][]bool, servedBits []int64, scratch *[]int32) {
+	if len(active) == 0 {
+		return
+	}
+	blocks := int64(n.Cfg.BlocksPerEpoch)
+	nAct := float64(len(active))
+	for _, c := range active {
+		var rate float64 // bits per second for this client
+		for _, k := range n.allowed[j] {
+			var scRate float64
+			for b := int64(0); b < blocks; b++ {
+				cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask, scratch))
+				scRate += lte.SubchannelRateBps(n.Cfg.BW, n.Cfg.TDD, k, cqi)
+			}
+			rate += scRate / float64(blocks)
+		}
+		rate /= nAct
+		served := int64(rate) // 1-second epoch
+		cl := n.Clients[c]
+		if served > cl.QueuedBits {
+			served = cl.QueuedBits
+		}
+		cl.QueuedBits -= served
+		cl.DeliveredBits += served
+		servedBits[c] = served
+	}
 }
 
 // detect applies the measured sensing error model to a ground-truth
@@ -591,7 +651,7 @@ func (n *Network) updateControllers(prevTxMask [][]bool, prevActive, nowActive [
 					badFrac += 1 / nAct
 					cleanForAll[k] = false
 				}
-				cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, lastBlock, prevTxMask))
+				cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, lastBlock, prevTxMask, &n.cellScratch))
 				util += lte.SubchannelRateBps(n.Cfg.BW, n.Cfg.TDD, k, cqi) / nAct
 			}
 			in.Utility[k] = util
@@ -634,7 +694,7 @@ func (n *Network) updateControllers(prevTxMask [][]bool, prevActive, nowActive [
 // free reference (the 60% CQI drop of Section 6.3.2 maps to roughly a
 // CQI-level gap; we use the same fraction on CQI directly).
 func (n *Network) clientSeesInterference(c, k int, b int64, txMask [][]bool) bool {
-	withI := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask))
+	withI := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask, &n.cellScratch))
 	clean := phy.LTECQIFromSINR(n.cleanSINRdB(c, k, b))
 	if clean == 0 {
 		return false

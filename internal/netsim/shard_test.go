@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+
+	"cellfi/internal/topo"
+)
+
+// The sharded fluid-service sweep must be bit-identical to the
+// sequential path — same delivered bits, same throughput floats — for
+// every scheme, with and without the spatial index, at several worker
+// counts. The sweep is the only parallel section; controllers, sensing
+// and mobility stay sequential, so any divergence here is a sharing bug
+// in the sweep itself.
+func TestShardedServiceBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, scheme := range []Scheme{SchemeCellFi, SchemeLTE, SchemeOracle} {
+			tp := topo.Generate(topo.Paper(10, 4), seed)
+			build := func(shards int) *Network {
+				cfg := DefaultConfig(scheme, seed)
+				cfg.Shards = shards
+				cfg.InterferenceRadiusM = 900
+				cfg.UseSpatialIndex = seed%2 == 0
+				return New(tp, cfg)
+			}
+			ref := build(0)
+			refThr := ref.Run(12)
+			for _, k := range []int{2, 3, 8} {
+				n := build(k)
+				thr := n.Run(12)
+				for c := range refThr {
+					if thr[c] != refThr[c] {
+						t.Fatalf("seed %d scheme %v shards %d: client %d throughput %v, sequential %v",
+							seed, scheme, k, c, thr[c], refThr[c])
+					}
+					if n.Clients[c].DeliveredBits != ref.Clients[c].DeliveredBits {
+						t.Fatalf("seed %d scheme %v shards %d: client %d delivered %d, sequential %d",
+							seed, scheme, k, c, n.Clients[c].DeliveredBits, ref.Clients[c].DeliveredBits)
+					}
+				}
+				n.Close()
+			}
+			ref.Close()
+		}
+	}
+}
+
+// Close must be idempotent and leave results readable.
+func TestNetworkCloseIdempotent(t *testing.T) {
+	tp := topo.Generate(topo.Paper(4, 3), 2)
+	cfg := DefaultConfig(SchemeCellFi, 2)
+	cfg.Shards = 4
+	n := New(tp, cfg)
+	thr := n.Run(5)
+	n.Close()
+	n.Close()
+	var sum float64
+	for _, v := range thr {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatal("vacuous run: no throughput")
+	}
+	if got := n.ThroughputsMbps(); got[0] != thr[0] {
+		t.Fatal("network unreadable after Close")
+	}
+}

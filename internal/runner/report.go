@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -65,6 +66,14 @@ type RunResult struct {
 	InvariantRule       string `json:"invariant_rule,omitempty"`
 	InvariantIndex      int    `json:"invariant_index,omitempty"`
 	InvariantRecord     string `json:"invariant_record,omitempty"`
+	// Shard telemetry (Ctx.AddShardStats): shard count of the run's
+	// widest cluster, conservative windows executed, per-shard busy
+	// fraction of parallel wall time, and total time shards spent
+	// parked at lockstep barriers.
+	Shards              int       `json:"shards,omitempty"`
+	ShardWindows        int64     `json:"shard_windows,omitempty"`
+	ShardUtilization    []float64 `json:"shard_utilization,omitempty"`
+	ShardBarrierStallMS float64   `json:"shard_barrier_stall_ms,omitempty"`
 	// Value is the scenario's return value (not serialized).
 	Value any `json:"-"`
 }
@@ -89,10 +98,16 @@ type Report struct {
 	// exceed any single run's factor).
 	SimRealtimeFactor float64 `json:"sim_realtime_factor,omitempty"`
 	// PeakRSSMB is the process's peak resident set in MiB at report
-	// finalization (ru_maxrss; 0 where unsupported) — the scale
-	// headroom signal for fleet sizing.
-	PeakRSSMB float64     `json:"peak_rss_mb,omitempty"`
-	Runs      []RunResult `json:"runs"`
+	// finalization (ru_maxrss on Linux, the Go runtime's residency
+	// estimate elsewhere) — the scale headroom signal for fleet sizing.
+	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
+	// NumCPU / GoMaxProcs pin the machine the campaign ran on.
+	// Throughput and speedup numbers are only comparable between
+	// reports taken at the same core count; scripts/benchdiff.sh skips
+	// speedup gates when they differ.
+	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Runs       []RunResult `json:"runs"`
 }
 
 // finalize computes the aggregate counters from Runs.
@@ -116,6 +131,8 @@ func (r *Report) finalize() {
 		r.SimRealtimeFactor = simClockMS / r.WallMS
 	}
 	r.PeakRSSMB = peakRSSMB()
+	r.NumCPU = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
 }
 
 // Err returns an error describing the first unsuccessful run, or nil

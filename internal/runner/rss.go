@@ -1,0 +1,15 @@
+package runner
+
+import "runtime"
+
+// rssFallbackMB estimates the process's resident footprint from the Go
+// runtime's own accounting when an OS peak-RSS counter is unavailable:
+// memory obtained from the OS minus heap pages returned to it. It is an
+// approximation of current (not peak) residency and ignores non-Go
+// mappings, but it is portable, monotone enough for fleet-sizing
+// trends, and never zero on a live process.
+func rssFallbackMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys-ms.HeapReleased) / (1 << 20)
+}

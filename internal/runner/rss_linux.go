@@ -5,11 +5,12 @@ package runner
 import "syscall"
 
 // peakRSSMB reports the process's peak resident set size in MiB.
-// Linux ru_maxrss is in kilobytes.
+// Linux ru_maxrss is in kilobytes; if getrusage somehow fails, fall
+// back to the portable runtime estimate rather than reporting zero.
 func peakRSSMB() float64 {
 	var ru syscall.Rusage
 	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
-		return 0
+		return rssFallbackMB()
 	}
 	return float64(ru.Maxrss) / 1024
 }

@@ -2,5 +2,6 @@
 
 package runner
 
-// peakRSSMB is unavailable off Linux; reports omit the field.
-func peakRSSMB() float64 { return 0 }
+// peakRSSMB has no getrusage peak counter off Linux; report the
+// portable runtime estimate instead of omitting the field.
+func peakRSSMB() float64 { return rssFallbackMB() }

@@ -1,0 +1,26 @@
+package runner
+
+import (
+	"math"
+	"testing"
+)
+
+// The portable fallback must report a positive, finite, sane residency
+// on any platform — it is what peak_rss_mb carries off Linux.
+func TestRSSFallback(t *testing.T) {
+	got := rssFallbackMB()
+	if got <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("rssFallbackMB() = %v, want positive finite", got)
+	}
+	if got > 1<<20 { // a terabyte of accounted memory is a unit bug
+		t.Fatalf("rssFallbackMB() = %v MiB, implausibly large", got)
+	}
+}
+
+// The platform peakRSSMB must never report zero: Linux reads ru_maxrss,
+// everything else takes the runtime fallback.
+func TestPeakRSSNonZero(t *testing.T) {
+	if got := peakRSSMB(); got <= 0 {
+		t.Fatalf("peakRSSMB() = %v, want > 0", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cellfi/internal/invariant"
+	"cellfi/internal/shard"
 	"cellfi/internal/sim"
 	"cellfi/internal/trace"
 )
@@ -65,10 +66,11 @@ type Ctx struct {
 	index int
 	opts  *Options
 
-	mu      sync.Mutex
-	engines []*sim.Engine
-	steps   int64
-	simTime time.Duration
+	mu         sync.Mutex
+	engines    []*sim.Engine
+	steps      int64
+	simTime    time.Duration
+	shardStats []shard.Stats
 
 	traceRing *trace.Ring
 	tracePath string
@@ -262,6 +264,18 @@ func (c *Ctx) AddSimTime(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// AddShardStats records the final telemetry snapshot of a shard
+// cluster the scenario drove (shard.Cluster.Stats, taken after the last
+// Run/Do). The run's RunResult surfaces shard count, windows executed,
+// per-shard utilization and total barrier-stall time; a scenario that
+// drives several clusters calls this once per cluster and the snapshots
+// aggregate.
+func (c *Ctx) AddShardStats(st shard.Stats) {
+	c.mu.Lock()
+	c.shardStats = append(c.shardStats, st)
+	c.mu.Unlock()
+}
+
 // collect sums telemetry from tracked engines. Called by the worker
 // after Run returns (WallMS already set), so no engine is still being
 // driven.
@@ -281,6 +295,47 @@ func (c *Ctx) collect(res *RunResult) {
 	}
 	if res.WallMS > 0 {
 		res.SimRealtimeFactor = res.SimClockMS / res.WallMS
+	}
+	c.collectShardsLocked(res)
+}
+
+// collectShardsLocked aggregates AddShardStats snapshots into the
+// result: shard count is the widest cluster, windows and barrier stall
+// sum, and per-shard utilization recomputes from the summed busy and
+// wall nanoseconds so multi-cluster runs stay wall-weighted.
+func (c *Ctx) collectShardsLocked(res *RunResult) {
+	if len(c.shardStats) == 0 {
+		return
+	}
+	var wallNS int64
+	var busyNS []int64
+	var stallNS int64
+	for _, st := range c.shardStats {
+		if st.Shards > res.Shards {
+			res.Shards = st.Shards
+		}
+		res.ShardWindows += st.Windows
+		wallNS += st.WallNS
+		for i, b := range st.BusyNS {
+			if i >= len(busyNS) {
+				busyNS = append(busyNS, 0)
+			}
+			busyNS[i] += b
+		}
+		for _, s := range st.StallNS {
+			stallNS += s
+		}
+	}
+	res.ShardBarrierStallMS = float64(stallNS) / 1e6
+	res.ShardUtilization = make([]float64, len(busyNS))
+	if wallNS > 0 {
+		for i, b := range busyNS {
+			u := float64(b) / float64(wallNS)
+			if u > 1 {
+				u = 1
+			}
+			res.ShardUtilization[i] = u
+		}
 	}
 }
 

@@ -318,6 +318,40 @@ func (e *Engine) Run(until Time) int {
 	return n
 }
 
+// RunBefore processes events strictly before horizon, then leaves the
+// clock at horizon. It is the window primitive of the sharded executor
+// (internal/shard): a conservative window [start, end) maps to one
+// RunBefore(end) call, and because the cut is exclusive, an event
+// scheduled exactly on a window boundary fires in the next window on
+// every shard layout — the property that keeps window composition
+// byte-identical to an unwindowed Run. It returns the number of events
+// processed.
+func (e *Engine) RunBefore(horizon Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.heap) > 0 && !e.stopped {
+		s := e.heap[0]
+		sl := &e.slots[s]
+		if sl.at >= horizon {
+			break
+		}
+		e.now = sl.at
+		fn := sl.fn
+		e.heapPop()
+		e.freeSlot(s)
+		e.fired++
+		if e.rec != nil {
+			e.rec.Record(trace.Record{T: int64(e.now), AP: -1, Kind: trace.KindSimFire})
+		}
+		fn()
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
 // RunAll processes events until the queue is empty or Stop is called.
 // It returns the number of events processed. Use with care: a Ticker
 // keeps the queue non-empty forever.

@@ -115,6 +115,15 @@ func (s *QuantileSketch) Quantile(q float64) float64 {
 	return s.valueOf(idxs[len(idxs)-1])
 }
 
+// Reset empties the sketch, retaining bucket-map capacity so a
+// reset-and-remerge cycle (the sharded metro fold) is allocation-free
+// in steady state.
+func (s *QuantileSketch) Reset() {
+	clear(s.buckets)
+	s.zeros = 0
+	s.count = 0
+}
+
 // Merge folds other into s. Both sketches must share the same alpha
 // (same gamma); merging is an exact bucket-wise add, so the result
 // answers every query exactly as a single sketch fed both streams.

@@ -112,6 +112,11 @@ const (
 	// cold (args[0] = 1). A crash wipes the radio and lease state; the
 	// verifier resets its per-AP model accordingly.
 	KindAPLife
+	// KindMetroEpoch: one metro-world epoch fold. Args: attached UEs,
+	// handovers this epoch, delivered bits this epoch, sum of attached
+	// UEs' CQI indices. AP is -1. All four are order-invariant integer
+	// aggregates, so the record is byte-identical at any shard count.
+	KindMetroEpoch
 )
 
 // Wi-Fi frame kind codes for KindWifiTX args[0].
@@ -159,6 +164,7 @@ var kindNames = map[Kind]string{
 	KindRadioTX:     "radio-tx",
 	KindIncumbent:   "incumbent",
 	KindAPLife:      "ap-life",
+	KindMetroEpoch:  "metro-epoch",
 }
 
 // String returns the stable dump/filter name of the kind.

@@ -165,6 +165,51 @@ else
 	echo "benchdiff: no $CITY_BASELINE; skipping city-scale comparison"
 fi
 
+# Sharded-execution baseline (the metro city at K in {1, 2, 4, 8}).
+# Parallel speedups are only meaningful at the core count they were
+# measured on, so when the committed baseline's num_cpu differs from
+# this machine's, the speedup comparisons are skipped outright (the
+# artifact regeneration still enforces the 0-alloc barrier and the
+# cross-K determinism gates). On a matching machine: the absolute
+# >= 3x floor at K=8 applies when there are >= 8 cores, and the
+# measured speedup must not regress versus the committed one by more
+# than the tolerance.
+SHARD_BASELINE=${SHARD_BASELINE:-BENCH_shard.json}
+if [ -f "$SHARD_BASELINE" ]; then
+	base_cpu=$(read_top "$SHARD_BASELINE" num_cpu)
+	base_speedup=$(read_top "$SHARD_BASELINE" speedup_k8)
+	if [ -z "$base_cpu" ] || [ -z "$base_speedup" ]; then
+		echo "benchdiff: could not read num_cpu/speedup_k8 from $SHARD_BASELINE" >&2
+		fail=1
+	else
+		echo "== benchdiff: re-measuring sharded execution (metro city at K in {1,2,4,8}, ~1 min)"
+		SHARD_BENCH_OUT="$tmp/shard.json" go test -run TestShardBenchArtifact -count 1 -timeout 20m . >/dev/null
+		cur_cpu=$(read_top "$tmp/shard.json" num_cpu)
+		cur_speedup=$(read_top "$tmp/shard.json" speedup_k8)
+		if [ "$base_cpu" != "$cur_cpu" ]; then
+			echo "benchdiff: shard baseline measured at num_cpu=$base_cpu, this machine has $cur_cpu — skipping speedup comparison (not comparable across core counts)"
+		elif [ "$cur_cpu" -lt 8 ]; then
+			echo "benchdiff: shard speedup_k8 baseline ${base_speedup}x, current ${cur_speedup}x — recorded, not gated (parallel speedup needs >= 8 cores, machine has $cur_cpu)"
+		else
+			awk -v cur="$cur_speedup" -v base="$base_speedup" -v tol="$TOLERANCE_PCT" -v cpus="$cur_cpu" 'BEGIN {
+				ratio = cur / base * 100
+				printf "benchdiff: shard speedup_k8 baseline %.2fx, current %.2fx (%.1f%%, floor %d%%)\n",
+					base, cur, ratio, 100 - tol
+				if (cur < 3) {
+					printf "benchdiff: FAIL — K=8 speedup %.2fx on a %d-core machine, want >= 3x\n", cur, cpus
+					exit 1
+				}
+				if (ratio < 100 - tol) {
+					printf "benchdiff: FAIL — shard speedup regressed more than %d%%\n", tol
+					exit 1
+				}
+			}' || fail=1
+		fi
+	fi
+else
+	echo "benchdiff: no $SHARD_BASELINE; skipping sharded-execution comparison"
+fi
+
 if [ "$fail" -ne 0 ]; then
 	echo "benchdiff: FAIL"
 	exit 1

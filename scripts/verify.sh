@@ -72,6 +72,21 @@ if [ "${VERIFY_CITY:-0}" = "1" ]; then
 	rm -f "$city_out"
 fi
 
+# Optional sharded-execution stage: VERIFY_SHARD=1 runs the shard
+# cluster suite plus the cross-shard-count equivalence tests (metro
+# trace-byte identity at K in {1, 2, 8}, netsim bit-identical sharded
+# service) under the race detector, then the shard baseline gate: the
+# lockstep barrier path must be 0 allocs/op and the speedup floor
+# applies when the machine has the cores (see BENCH_shard.json).
+if [ "${VERIFY_SHARD:-0}" = "1" ]; then
+	echo "== go test -race (shard, metro, netsim equivalence)"
+	go test -race ./internal/shard ./internal/metro ./internal/netsim
+	echo "== shard baseline gate (BENCH_shard.json)"
+	shard_out=$(mktemp)
+	SHARD_BENCH_OUT="$shard_out" go test -run TestShardBenchArtifact -count 1 -timeout 20m .
+	rm -f "$shard_out"
+fi
+
 # Optional spectrum-database stage: VERIFY_PAWS=1 runs the pawsdb and
 # load-harness suites (index/cache equivalence, lease wheel, fleet
 # vacate-under-failover) under the race detector.

@@ -1,0 +1,202 @@
+// BENCH_shard.json writer: regenerates the committed sharded-execution
+// baseline when SHARD_BENCH_OUT is set (see `make BENCH_shard.json`).
+// It drives the examples/metro city through the conservative shard
+// cluster at K in {1, 2, 4, 8} and records wall time, realtime factor,
+// UE-sweep throughput, per-shard utilization and barrier stall. Gates:
+// the lockstep barrier path must be 0 allocs/op in steady state, the
+// integer epoch telemetry must agree across shard counts, and — only on
+// a machine with >= 8 cores available — K=8 must be >= 3x faster than
+// K=1 (recorded but not enforced on smaller machines; see num_cpu).
+package cellfi_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellfi/internal/metro"
+	"cellfi/internal/shard"
+	"cellfi/internal/sim"
+)
+
+// shardRunResult is one (shard count, world) measurement.
+type shardRunResult struct {
+	Shards int `json:"shards"`
+	// WallMS is the simulation wall time (world build excluded).
+	WallMS float64 `json:"wall_ms"`
+	// SimRealtimeFactor is simulated seconds per wall second (epochs
+	// are 1 s of virtual time).
+	SimRealtimeFactor float64 `json:"sim_realtime_factor"`
+	// UESweepsPerSec is NUEs * epochs / wall — per-UE epoch updates per
+	// second, the throughput metric that is comparable across K.
+	UESweepsPerSec float64 `json:"ue_sweeps_per_sec"`
+	// AttachedMean is the run's mean attached count — identical across
+	// K by the determinism contract; the artifact test enforces it.
+	AttachedMean float64 `json:"attached_mean"`
+	// Cluster telemetry (absent at K=1, which runs the direct path).
+	Windows            int64     `json:"windows,omitempty"`
+	Utilization        []float64 `json:"utilization,omitempty"`
+	BarrierStallMS     float64   `json:"barrier_stall_ms,omitempty"`
+	CrossShardMessages int64     `json:"cross_shard_messages,omitempty"`
+}
+
+// shardBenchArtifact is the schema of BENCH_shard.json. Top-level
+// scalars are what scripts/benchdiff.sh gates on.
+type shardBenchArtifact struct {
+	Generated   time.Time `json:"generated"`
+	GoMaxProcs  int       `json:"go_max_procs"`
+	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	Description string    `json:"description"`
+
+	CityAPs    int `json:"city_aps"`
+	CityUEs    int `json:"city_ues"`
+	CityEpochs int `json:"city_epochs"`
+
+	Runs []shardRunResult `json:"runs"`
+	// SpeedupK8 is wall(K=1) / wall(K=8). SpeedupGateEnforced records
+	// whether the >= 3x floor applied on this machine (it needs >= 8
+	// cores; benchdiff.sh makes the same check before gating).
+	SpeedupK8           float64 `json:"speedup_k8"`
+	SpeedupGateEnforced bool    `json:"speedup_gate_enforced"`
+
+	// WindowBarrier is one conservative lockstep window at K=4 with
+	// cross-shard messages in flight — must be 0 allocs/op.
+	WindowBarrier benchResult `json:"window_barrier"`
+}
+
+// benchShardWindowBarrier mirrors internal/shard's BenchmarkWindowBarrier
+// through the public API: a 4-shard ring exchanging commutative deltas,
+// one op = one window (deliver, parallel dispatch, harvest, fold).
+func benchShardWindowBarrier(b *testing.B) {
+	const win = 250 * time.Millisecond
+	const cells = 64
+	state := make([]int64, cells)
+	owner := func(cell int) int { return cell * 4 / cells }
+	c := shard.New(shard.Config{
+		Shards: 4,
+		Window: win,
+		Seed:   1,
+		Handler: func(dst int, m shard.Msg) {
+			state[m.Args[0]] += m.Args[1]
+		},
+	})
+	defer c.Close()
+	for s := 0; s < 4; s++ {
+		s := s
+		c.Shard(s).Engine.Every(win, func() {
+			sh := c.Shard(s)
+			at := sh.Engine.Now() + win
+			for i := range state {
+				if owner(i) != s {
+					continue
+				}
+				next := (i + 1) % cells
+				sh.Send(shard.Msg{At: at, Dst: int32(owner(next)), Kind: 1,
+					Args: [4]int64{int64(next), state[i]%11 + 1}})
+			}
+		})
+	}
+	c.Run(8 * win) // warm buffers to the workload's high-water mark
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(c.Now() + win)
+	}
+	_ = sim.Time(0)
+}
+
+// runShardCity builds and runs the metro city at the given shard count,
+// returning its measurement.
+func runShardCity(cfg metro.Config, epochs, shards int) shardRunResult {
+	cfg.Shards = shards
+	w := metro.New(cfg)
+	defer w.Close()
+	start := time.Now()
+	w.Run(epochs)
+	wall := time.Since(start)
+	res := shardRunResult{
+		Shards:            shards,
+		WallMS:            float64(wall) / float64(time.Millisecond),
+		SimRealtimeFactor: float64(epochs) / wall.Seconds(),
+		UESweepsPerSec:    float64(cfg.NUEs) * float64(epochs) / wall.Seconds(),
+		AttachedMean:      w.Attached.Mean(),
+	}
+	if st, ok := w.ShardStats(); ok {
+		res.Windows = st.Windows
+		res.Utilization = st.Utilization()
+		res.BarrierStallMS = st.BarrierStallMS()
+		res.CrossShardMessages = st.Msgs
+	}
+	return res
+}
+
+// TestShardBenchArtifact regenerates BENCH_shard.json when
+// SHARD_BENCH_OUT is set. Always fails if the barrier path allocates or
+// the attached-count telemetry diverges across shard counts; fails the
+// 3x-at-8 floor only when the machine has the cores to show it.
+func TestShardBenchArtifact(t *testing.T) {
+	out := os.Getenv("SHARD_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SHARD_BENCH_OUT to write BENCH_shard.json")
+	}
+
+	cfg := metro.DefaultCity(1)
+	epochs := 60 // a quarter of the diurnal cycle covers ramp-up and plateau
+
+	art := shardBenchArtifact{
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Description: fmt.Sprintf("Sharded-execution baseline: the examples/metro city "+
+			"(%d APs, %d UEs, %d epochs) run on the conservative shard cluster at "+
+			"K in {1, 2, 4, 8}. speedup_k8 is wall(K=1)/wall(K=8), gated at >= 3x only "+
+			"when the machine has >= 8 cores (speedup_gate_enforced records whether it "+
+			"applied); window_barrier must stay 0 allocs/op; attached_mean must be "+
+			"identical at every K (the cross-shard determinism contract).",
+			cfg.NAPs, cfg.NUEs, epochs),
+		CityAPs:    cfg.NAPs,
+		CityUEs:    cfg.NUEs,
+		CityEpochs: epochs,
+	}
+
+	for _, k := range []int{1, 2, 4, 8} {
+		res := runShardCity(cfg, epochs, k)
+		art.Runs = append(art.Runs, res)
+		t.Logf("K=%d: %.0f ms, %.1fx real time, %.2g UE-sweeps/s",
+			k, res.WallMS, res.SimRealtimeFactor, res.UESweepsPerSec)
+	}
+	for _, res := range art.Runs[1:] {
+		if res.AttachedMean != art.Runs[0].AttachedMean {
+			t.Errorf("K=%d attached_mean %v differs from K=1's %v — determinism broken",
+				res.Shards, res.AttachedMean, art.Runs[0].AttachedMean)
+		}
+	}
+	if art.Runs[3].WallMS > 0 {
+		art.SpeedupK8 = art.Runs[0].WallMS / art.Runs[3].WallMS
+	}
+	art.SpeedupGateEnforced = art.NumCPU >= 8 && art.GoMaxProcs >= 8
+	if art.SpeedupGateEnforced && art.SpeedupK8 < 3 {
+		t.Errorf("K=8 speedup %.2fx on a %d-core machine, want >= 3x",
+			art.SpeedupK8, art.NumCPU)
+	}
+
+	art.WindowBarrier = toResult(testing.Benchmark(benchShardWindowBarrier))
+	if art.WindowBarrier.AllocsPerOp != 0 {
+		t.Errorf("window barrier allocates %d allocs/op, want 0", art.WindowBarrier.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: speedup_k8 %.2fx (gate %v), barrier %.0f ns/op",
+		out, art.SpeedupK8, art.SpeedupGateEnforced, art.WindowBarrier.NsPerOp)
+}
