@@ -2,10 +2,12 @@
 // baseline when CITY_BENCH_OUT is set (see `make BENCH_city.json`).
 // It runs the examples/metro headline scenario — 2,000 APs, 100k UEs,
 // one compressed diurnal cycle — single-threaded and enforces the
-// scale contract: the city simulates faster than real time, the
-// spatial-index neighborhood query is 0 allocs/op, the metro epoch
-// sweep is allocation-free in steady state, and the indexed SINR path
-// beats the brute truncated scan at N=1000 APs.
+// scale contract: the city simulates at >= 40x real time, the metro
+// epoch holds the 2.5x budget versus the pre-kernel-v2 baseline, the
+// spatial-index query / epoch sweep / fade draw / CQI map are all
+// allocation-free, the batched ziggurat fade draw is >= 4x faster than
+// the v1 scalar draw it replaced, and the indexed SINR path beats the
+// brute truncated scan at N=1000 APs.
 package cellfi_test
 
 import (
@@ -21,6 +23,8 @@ import (
 	"cellfi/internal/geo"
 	"cellfi/internal/lte"
 	"cellfi/internal/metro"
+	"cellfi/internal/phy"
+	"cellfi/internal/propagation"
 )
 
 // cityBenchArtifact is the schema of BENCH_city.json. Top-level
@@ -55,6 +59,20 @@ type cityBenchArtifact struct {
 	LTESINRBruteN1000   benchResult `json:"lte_sinr_brute_n1000"`
 	LTESINRIndexedN1000 benchResult `json:"lte_sinr_indexed_n1000"`
 	LTEIndexedSpeedup   float64     `json:"lte_indexed_speedup"`
+
+	// FadeDraw is one deterministic Exponential(1) fade gain through the
+	// batched ziggurat kernel (AppendGainsLinear, amortized over 32-link
+	// rows); FadeDrawV1 is the draw it replaced (full SplitMix64 chain
+	// per draw + math.Log inversion), kept inline here as the reference.
+	FadeDraw        benchResult `json:"fade_draw"`
+	FadeDrawV1      benchResult `json:"fade_draw_v1"`
+	FadeDrawSpeedup float64     `json:"fade_draw_speedup"`
+	// CQILinear maps a linear SINR ratio straight onto the precomputed
+	// linear CQI thresholds; CQILog10 is the 10*log10 chain it shortcuts.
+	// The two are bit-identical in output (proved exhaustively in
+	// internal/phy); the artifact records the speed contrast.
+	CQILinear benchResult `json:"cqi_linear"`
+	CQILog10  benchResult `json:"cqi_log10"`
 }
 
 func benchCityGridQuery(b *testing.B) {
@@ -86,6 +104,89 @@ func benchMetroEpochCity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.Step()
 	}
+}
+
+func cityBenchLinks() []uint64 {
+	links := make([]uint64, 1024)
+	for i := range links {
+		links[i] = propagation.LinkID(i%2000, 2000+i)
+	}
+	return links
+}
+
+// benchFadeDraw is one fade gain through the batch kernel, amortized
+// over 32-link rows (the metro adjacency row width).
+func benchFadeDraw(b *testing.B) {
+	f := propagation.NewFading(1)
+	links := cityBenchLinks()[:32]
+	dst := make([]float64, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 32 {
+		dst = f.AppendGainsLinear(dst[:0], links, 3, 4200)
+	}
+	_ = dst
+}
+
+// benchFadeDrawV1 reproduces the pre-ziggurat draw verbatim — the full
+// per-draw SplitMix64 chain over (seed, link, subchannel, block)
+// followed by -log(u) inversion — as the reference the fade_draw
+// speedup is measured against.
+func benchFadeDrawV1(b *testing.B) {
+	const seed, blockMS = 1, 100
+	links := cityBenchLinks()
+	v1 := func(linkID uint64, subchannel int, tMS int64) float64 {
+		h := uint64(seed) ^ 0x9e3779b97f4a7c15
+		for _, v := range [...]uint64{linkID, uint64(subchannel) + 0x5bd1e995, uint64(tMS / blockMS)} {
+			h ^= v
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+			h *= 0x94d049bb133111eb
+			h ^= h >> 31
+		}
+		u := (float64(h>>11) + 1) / (1 << 53)
+		return -math.Log(u)
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += v1(links[i&1023], 3, 4200)
+	}
+	_ = sink
+}
+
+// cityCQIRatios covers the operating range (-10..+28 dB) as linear
+// ratios, shared by the CQI mapping benches.
+func cityCQIRatios() []float64 {
+	ratios := make([]float64, 256)
+	for i := range ratios {
+		db := -10 + 38*float64(i)/float64(len(ratios)-1)
+		ratios[i] = math.Pow(10, db/10)
+	}
+	return ratios
+}
+
+func benchCQILog10(b *testing.B) {
+	ratios := cityCQIRatios()
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += phy.LTECQIFromSINR(10 * math.Log10(ratios[i&255]))
+	}
+	_ = sink
+}
+
+func benchCQILinear(b *testing.B) {
+	ratios := cityCQIRatios()
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += phy.LTECQIFromLinearSINR(ratios[i&255], 1)
+	}
+	_ = sink
 }
 
 // cityLTEWorld builds the 1000-cell density-scaled world shared by the
@@ -160,9 +261,12 @@ func TestCityBenchArtifact(t *testing.T) {
 		GoVersion:  runtime.Version(),
 		Description: fmt.Sprintf("City-scale single-world baseline: the examples/metro scenario "+
 			"(%d APs, %d UEs, %.0f km², one %d-epoch diurnal cycle) driven single-threaded "+
-			"through the geo.Grid interference index with SoA UE state and streaming stats. "+
-			"sim_realtime_factor > 1 is the enforced scale gate; grid_query and metro_epoch "+
-			"must stay 0 allocs/op; lte_sinr_indexed_n1000 must beat the brute truncated scan.",
+			"through the geo.Grid interference index with SoA UE state, the batched ziggurat "+
+			"fading kernel (v2) and linear-domain CQI thresholds. sim_realtime_factor >= 40 and "+
+			"metro_epoch <= 2.5x under the v1 baseline (80.88 ms/op) are the enforced scale "+
+			"gates; grid_query, metro_epoch, fade_draw and cqi_linear must stay 0 allocs/op; "+
+			"fade_draw must be >= 4x faster than the v1 reference draw (fade_draw_v1) and "+
+			"lte_sinr_indexed_n1000 must beat the brute truncated scan.",
 			cfg.NAPs, cfg.NUEs, cfg.AreaW*cfg.AreaH/1e6, epochs),
 		CityAPs:           cfg.NAPs,
 		CityUEs:           cfg.NUEs,
@@ -179,13 +283,31 @@ func TestCityBenchArtifact(t *testing.T) {
 		MetroEpoch:          toResult(testing.Benchmark(benchMetroEpochCity)),
 		LTESINRBruteN1000:   toResult(testing.Benchmark(benchCityLTESINR(false))),
 		LTESINRIndexedN1000: toResult(testing.Benchmark(benchCityLTESINR(true))),
+		FadeDraw:            toResult(testing.Benchmark(benchFadeDraw)),
+		FadeDrawV1:          toResult(testing.Benchmark(benchFadeDrawV1)),
+		CQILinear:           toResult(testing.Benchmark(benchCQILinear)),
+		CQILog10:            toResult(testing.Benchmark(benchCQILog10)),
 	}
 	if art.LTESINRIndexedN1000.NsPerOp > 0 {
 		art.LTEIndexedSpeedup = art.LTESINRBruteN1000.NsPerOp / art.LTESINRIndexedN1000.NsPerOp
 	}
+	if art.FadeDraw.NsPerOp > 0 {
+		art.FadeDrawSpeedup = art.FadeDrawV1.NsPerOp / art.FadeDraw.NsPerOp
+	}
 
-	if art.SimRealtimeFactor <= 1 {
-		t.Errorf("city simulates at %.2fx real time, want > 1x", art.SimRealtimeFactor)
+	// The kernel-v2 scale floor: the fading/SINR rework holds a >= 40x
+	// single-core realtime factor on the reference box. Before it the
+	// committed artifact sat at 17x, so the floor also guards against
+	// any silent fallback onto the scalar dB path.
+	if art.SimRealtimeFactor < 40 {
+		t.Errorf("city simulates at %.2fx real time, want >= 40x", art.SimRealtimeFactor)
+	}
+	// Absolute epoch budget: >= 2.5x faster than the pre-kernel-v2
+	// committed baseline (80.88 ms/op on the same reference box).
+	const metroEpochV1NsPerOp = 80881170.2
+	if art.MetroEpoch.NsPerOp > metroEpochV1NsPerOp/2.5 {
+		t.Errorf("metro epoch %.1f ms/op, want <= %.1f ms/op (2.5x of the v1 baseline)",
+			art.MetroEpoch.NsPerOp/1e6, metroEpochV1NsPerOp/2.5/1e6)
 	}
 	if art.GridQuery.AllocsPerOp != 0 {
 		t.Errorf("grid query allocates %d allocs/op, want 0", art.GridQuery.AllocsPerOp)
@@ -196,6 +318,23 @@ func TestCityBenchArtifact(t *testing.T) {
 	}
 	if art.LTEIndexedSpeedup <= 1 {
 		t.Errorf("indexed SINR at N=1000 is not faster than brute (%.2fx)", art.LTEIndexedSpeedup)
+	}
+	// 4x is the flake-proof floor; the kernel typically shows 5-6x on
+	// the reference box (the committed artifact records the measured
+	// ratio, and benchdiff.sh holds fade_draw to a >10% regression band).
+	if art.FadeDrawSpeedup < 4 {
+		t.Errorf("batched fade draw only %.2fx faster than the v1 draw, want >= 4x",
+			art.FadeDrawSpeedup)
+	}
+	if art.FadeDraw.AllocsPerOp != 0 {
+		t.Errorf("batched fade draw allocates %d allocs/op, want 0", art.FadeDraw.AllocsPerOp)
+	}
+	if art.CQILinear.AllocsPerOp != 0 {
+		t.Errorf("linear CQI map allocates %d allocs/op, want 0", art.CQILinear.AllocsPerOp)
+	}
+	if art.CQILinear.NsPerOp >= art.CQILog10.NsPerOp {
+		t.Errorf("linear CQI map (%.2f ns/op) not faster than the log10 chain (%.2f ns/op)",
+			art.CQILinear.NsPerOp, art.CQILog10.NsPerOp)
 	}
 
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -14,16 +14,19 @@
 // and the determinism contract").
 //
 //	go run ./examples/metro [-epochs N] [-seed S] [-shards K] [-json]
+//	    [-cpuprofile F] [-memprofile F] [-trace F]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
 	"cellfi/internal/metro"
+	"cellfi/internal/profiling"
 )
 
 func main() {
@@ -31,7 +34,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	shards := flag.Int("shards", 1, "region shards (1 = single-threaded direct path)")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of text")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatalf("metro: %v", err)
+	}
+	defer stopProf()
 
 	cfg := metro.DefaultCity(*seed)
 	cfg.Shards = *shards

@@ -49,7 +49,8 @@ type CellSim struct {
 	free       []int
 	dcis       []DCI
 	dciBuf     []byte
-	sinrs      []float64
+	sinrs      []float64 // signal mW per subchannel (report cycle)
+	dens       []float64 // interference+noise mW per subchannel
 }
 
 // simUE couples a radio client with its MAC state.
@@ -93,6 +94,7 @@ func NewCellSim(eng *sim.Engine, env *Environment, cell *Cell, clients []*Client
 		busy:        make([]bool, n),
 		free:        make([]int, 0, n),
 		sinrs:       make([]float64, n),
+		dens:        make([]float64, n),
 	}
 	for i := range cs.allAllowed {
 		cs.allAllowed[i] = i
@@ -161,12 +163,15 @@ func (cs *CellSim) report() {
 	tMS := int64(cs.eng.Now() / time.Millisecond)
 	s := cs.Cell.BW.Subchannels()
 	rec := cs.eng.Recorder()
-	sinrs := cs.sinrs[:s]
+	sigs, dens := cs.sinrs[:s], cs.dens[:s]
 	for _, ue := range cs.ues {
+		// Linear-domain measurement: per-subchannel (signal, denominator)
+		// pairs feed the reporter's linear thresholds — same CQIs as the
+		// dB chain without its log10 per subchannel per UE.
 		for k := 0; k < s; k++ {
-			sinrs[k] = cs.Env.DownlinkSINR(cs.Cell, cs.Interferers, ue.client, k, tMS)
+			sigs[k], dens[k] = cs.Env.DownlinkSINRParts(cs.Cell, cs.Interferers, ue.client, k, tMS)
 		}
-		rep := ue.reporter.ReportInto(sinrs, ue.sched.SubbandCQI)
+		rep := ue.reporter.ReportLinearInto(sigs, dens, ue.sched.SubbandCQI)
 		if rec != nil {
 			rec.Record(trace.Record{T: int64(cs.eng.Now()), AP: int32(cs.Cell.ID), Kind: trace.KindLTECQI,
 				N: 2, Args: [trace.MaxArgs]int64{int64(ue.client.ID), int64(rep.Wideband)}})

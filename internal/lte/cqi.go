@@ -39,6 +39,9 @@ type CQIReporter struct {
 	lastSinrs []float64
 	lastWB    int
 	lastSet   bool
+
+	// lastScratch is ReportLinearInto's reusable ratio buffer.
+	lastScratch []float64
 }
 
 // NewCQIReporter returns a reporter with the given measurement noise
@@ -83,6 +86,68 @@ func (r *CQIReporter) ReportInto(sinrsDB []float64, sub []int) CQIReport {
 		Subband:  sub,
 		Bits:     CQIReportBits,
 	}
+}
+
+// ReportLinearInto is ReportInto fed linear-domain SINRs: sig[i]/den[i]
+// is subchannel i's signal over interference-plus-noise, as produced by
+// Environment.DownlinkSINRParts. Sub-band CQIs come from the linear
+// thresholds (bit-identical to the dB chain, no log10 per sub-band);
+// the wideband CQI comes from linear-domain EESM. Noise draws happen in
+// sub-band order followed by the wideband computation, exactly like
+// ReportInto, so the rng stream stays aligned. The wideband memo keys
+// on the ratio vector, which repeats bit-for-bit within a coherence
+// block just as the dB vector did.
+func (r *CQIReporter) ReportLinearInto(sig, den []float64, sub []int) CQIReport {
+	sub = sub[:len(sig)]
+	ratios := r.lastScratch[:0]
+	for i := range sig {
+		ratio := sig[i] / den[i]
+		ratios = append(ratios, ratio)
+		c := phy.LTECQIFromLinearSINR(sig[i], den[i])
+		if r.NoiseProb > 0 && r.rng != nil && r.rng.Float64() < r.NoiseProb {
+			if r.rng.Intn(2) == 0 {
+				c--
+			} else {
+				c++
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c > phy.LTECQICount {
+				c = phy.LTECQICount
+			}
+		}
+		sub[i] = c
+	}
+	r.lastScratch = ratios
+	return CQIReport{
+		Wideband: r.widebandLinear(ratios),
+		Subband:  sub,
+		Bits:     CQIReportBits,
+	}
+}
+
+// widebandLinear serves the wideband CQI from linear ratios through the
+// same memo slot the dB path uses (the two entry points are never mixed
+// on one reporter: the memo vector's domain follows the caller's).
+func (r *CQIReporter) widebandLinear(ratios []float64) int {
+	if r.lastSet && len(r.lastSinrs) == len(ratios) {
+		same := true
+		for i, v := range ratios {
+			if r.lastSinrs[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return r.lastWB
+		}
+	}
+	wb := phy.LTECQIFromSINR(phy.EffectiveSINRdBFromLinear(ratios))
+	r.lastSinrs = append(r.lastSinrs[:0], ratios...)
+	r.lastWB = wb
+	r.lastSet = true
+	return wb
 }
 
 // wideband serves the EESM-derived wideband CQI through the memo.

@@ -148,11 +148,15 @@ type Environment struct {
 // of denMW, so it needs no epoch/block validation — an exact match on
 // the milliwatt sum guarantees an identical conversion).
 type rxEntry struct {
-	link         uint64
-	sc           int32
-	used         bool
-	epoch        uint64
-	block        int64
+	link  uint64
+	sc    int32
+	used  bool
+	epoch uint64
+	block int64
+	// mw is filled on every (re)compute; dbm lazily on the first dB
+	// query of the block (dbmOK) — interferer-only links never pay the
+	// log10 at all.
+	dbmOK        bool
 	dbm, mw      float64
 	denMW, denDB float64
 }
@@ -195,27 +199,35 @@ func (e *Environment) linkLossDB(cellID, clientID int, cellPos, clientPos geo.Po
 // one resource block of subchannel sc at time tMS.
 func (e *Environment) rxPowerDBm(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
 	if e.memoActive() {
-		dbm, _ := e.rxLookup(tx, rxPos, rxID, sc, tMS)
-		return dbm
+		ent := e.rxLookup(tx, rxPos, rxID, sc, tMS)
+		if !ent.dbmOK {
+			ent.dbm, ent.dbmOK = propagation.MWToDBm(ent.mw), true
+		}
+		return ent.dbm
 	}
-	return e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS)
+	return propagation.MWToDBm(e.rxPowerMWUncached(tx, rxPos, rxID, sc, tMS))
 }
 
-// rxPowerMW is rxPowerDBm in milliwatts — the interferer-summation form.
+// rxPowerMW is rxPowerDBm in milliwatts — the interferer-summation form,
+// and since kernel v2 the primary one: the memo computes mW first and
+// derives dBm only on demand.
 func (e *Environment) rxPowerMW(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
 	if e.memoActive() {
-		_, mw := e.rxLookup(tx, rxPos, rxID, sc, tMS)
-		return mw
+		return e.rxLookup(tx, rxPos, rxID, sc, tMS).mw
 	}
-	return propagation.DBmToMW(e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS))
+	return e.rxPowerMWUncached(tx, rxPos, rxID, sc, tMS)
 }
 
-// rxPowerDBmUncached is the direct computation behind the memo.
-func (e *Environment) rxPowerDBmUncached(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
+// rxPowerMWUncached is the direct computation behind the memo, in the
+// linear domain end to end: the static dB budget converts once, then the
+// fading draw multiplies in as a linear gain (no per-call log10 of the
+// fade). The cached and uncached paths both go through here, so they
+// stay bit-identical.
+func (e *Environment) rxPowerMWUncached(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) float64 {
 	gain := tx.Antenna.GainDB(tx.Pos.Bearing(rxPos))
 	loss := e.linkLossDB(tx.ID, rxID, tx.Pos, rxPos)
-	fade := e.Fading.GainDB(propagation.LinkID(tx.ID, rxID), sc, tMS)
-	return tx.PerRBPowerDBm() + gain - loss + fade
+	static := propagation.DBmToMW(tx.PerRBPowerDBm() + gain - loss)
+	return static * e.Fading.GainLinear(propagation.LinkID(tx.ID, rxID), sc, tMS)
 }
 
 // memoActive mirrors linkLossDB's condition: received-power caching is
@@ -226,8 +238,10 @@ func (e *Environment) memoActive() bool {
 }
 
 // rxLookup serves rxPowerDBm/rxPowerMW from the memo, computing and
-// storing the (dBm, mW) pair on the first query of a coherence block.
-func (e *Environment) rxLookup(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) (float64, float64) {
+// storing the mW power on the first query of a coherence block (dBm
+// converts lazily; see rxEntry). The returned pointer is only valid
+// until the next rxSlot call, which may grow the table.
+func (e *Environment) rxLookup(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int64) *rxEntry {
 	block := int64(0)
 	if f := e.Fading; f != nil && !f.Disabled {
 		block = tMS / f.BlockMS
@@ -235,10 +249,10 @@ func (e *Environment) rxLookup(tx *Cell, rxPos geo.Point, rxID, sc int, tMS int6
 	ent := e.rxSlot(propagation.LinkID(tx.ID, rxID), int32(sc))
 	if ent.epoch != e.rxEpoch || ent.block != block {
 		ent.epoch, ent.block = e.rxEpoch, block
-		ent.dbm = e.rxPowerDBmUncached(tx, rxPos, rxID, sc, tMS)
-		ent.mw = propagation.DBmToMW(ent.dbm)
+		ent.mw = e.rxPowerMWUncached(tx, rxPos, rxID, sc, tMS)
+		ent.dbmOK = false
 	}
-	return ent.dbm, ent.mw
+	return ent
 }
 
 // rxSlot returns the table slot for (link, sc), inserting the key on
@@ -307,17 +321,13 @@ func (e *Environment) noise() (float64, float64) {
 // matching the paper's finding that signalling-only interference leaves
 // data SINR intact and costs at most ~20% goodput (Figure 7b).
 func (e *Environment) DownlinkSINR(serving *Cell, interferers []*Cell, cl *Client, sc int, tMS int64) float64 {
-	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
-	_, den := e.noise()
-	for _, ic := range interferers {
-		if ic == serving || !ic.TransmitsIn(sc) {
-			continue
-		}
-		den += e.rxPowerMW(ic, cl.Pos, cl.ID, sc, tMS)
-	}
+	sig, den := e.DownlinkSINRParts(serving, interferers, cl, sc, tMS)
 	if !e.memoActive() {
-		return signal - propagation.MWToDBm(den)
+		return propagation.MWToDBm(sig) - propagation.MWToDBm(den)
 	}
+	// Serving-link dB via the memo's lazy conversion — bit-identical to
+	// MWToDBm(sig), but cached for the rest of the coherence block.
+	signal := e.rxPowerDBm(serving, cl.Pos, cl.ID, sc, tMS)
 	// The mW denominator repeats for the whole coherence block while
 	// the interferer set holds still, so memoize its dB conversion on
 	// the serving link's table entry. Probe fresh: the interferer
@@ -330,6 +340,24 @@ func (e *Environment) DownlinkSINR(serving *Cell, interferers []*Cell, cl *Clien
 		ent.denMW, ent.denDB = den, propagation.MWToDBm(den)
 	}
 	return signal - ent.denDB
+}
+
+// DownlinkSINRParts returns DownlinkSINR's ingredients in the linear
+// domain: the serving-cell received power and the interference-plus-
+// noise denominator, both in mW per resource block. Feeding them to
+// phy.LTECQIFromLinearSINR yields the exact CQI the dB chain computes
+// while skipping every log10 — the batch-kernel path CQI reporting
+// rides (CQIReporter.ReportLinearInto).
+func (e *Environment) DownlinkSINRParts(serving *Cell, interferers []*Cell, cl *Client, sc int, tMS int64) (sigMW, denMW float64) {
+	sigMW = e.rxPowerMW(serving, cl.Pos, cl.ID, sc, tMS)
+	_, denMW = e.noise()
+	for _, ic := range interferers {
+		if ic == serving || !ic.TransmitsIn(sc) {
+			continue
+		}
+		denMW += e.rxPowerMW(ic, cl.Pos, cl.ID, sc, tMS)
+	}
+	return sigMW, denMW
 }
 
 // PuncturedGoodputFactor returns the fraction of goodput that survives

@@ -14,9 +14,11 @@
 //   - Each UE carries a bounded-degree adjacency row (fixed stride,
 //     CSR-style nbrAP/nbrRxMW slabs) holding only the APs inside the
 //     interference-significance radius, found through the geo.Grid
-//     spatial index; mean rx powers are precomputed in milliwatts so
-//     the SINR inner loop is one propagation.Fading.GainLinear multiply
-//     per interferer — no dB round trips.
+//     spatial index; mean rx powers are precomputed in float32
+//     milliwatts, fades come one batch row at a time from
+//     propagation.Fading.AppendGainsLinear (the ziggurat kernel), and
+//     the CQI quantizes straight from the linear ratio
+//     (phy.LTECQIFromLinearSINR) — no transcendentals in the sweep.
 //   - Whole-run metrics go to bounded-memory streaming aggregates
 //     (stats.StreamStat, stats.QuantileSketch) instead of retained
 //     samples.
@@ -170,7 +172,8 @@ func DefaultCity(seed int64) Config {
 // applied inline.
 type shardCtx struct {
 	scratch   []int32
-	loadDelta []int32 // per-AP attach/handover deltas, folded at barriers
+	gains     []float64 // reusable fade-gain row for the batch sweep kernel
+	loadDelta []int32   // per-AP attach/handover deltas, folded at barriers
 
 	handovers int64 // this epoch
 	served    int64 // bits delivered this epoch
@@ -203,6 +206,7 @@ type World struct {
 	ueWpX, ueWpY []float64 // random-waypoint targets
 	ueWpN        []uint32  // waypoints consumed (per-UE counter-hash stream)
 	ueCell       []int32   // serving AP, -1 when out of coverage
+	ueServI      []uint8   // serving AP's adjacency-row index (valid when ueCell >= 0)
 	ueShard      []uint8   // owning slab; all zero on the direct path
 	ueAttached   []bool
 	ueQueued     []int64
@@ -212,9 +216,11 @@ type World struct {
 	// Bounded-degree adjacency, fixed stride Cfg.MaxNeighbors:
 	// row u occupies [u*K, u*K+nbrN[u]). nbrRxMW is the mean rx power
 	// of that AP at the UE in milliwatts (path loss + shadowing, no
-	// fast fading); nbrLink caches the fading LinkID.
+	// fast fading) — float32, since a ~24-bit mantissa is far below the
+	// shadowing model's fidelity and halving the row width halves the
+	// sweep's memory traffic; nbrLink caches the fading LinkID.
 	nbrAP   []int32
-	nbrRxMW []float64
+	nbrRxMW []float32
 	nbrLink []uint64
 	nbrN    []uint16
 
@@ -273,6 +279,7 @@ func New(cfg Config) *World {
 	w.sctx = make([]*shardCtx, cfg.Shards)
 	for i := range w.sctx {
 		w.sctx[i] = &shardCtx{
+			gains:     make([]float64, 0, cfg.MaxNeighbors),
 			loadDelta: make([]int32, cfg.NAPs),
 			thrQ:      stats.NewQuantileSketch(0),
 		}
@@ -300,13 +307,14 @@ func New(cfg Config) *World {
 	w.ueWpY = make([]float64, n)
 	w.ueWpN = make([]uint32, n)
 	w.ueCell = make([]int32, n)
+	w.ueServI = make([]uint8, n)
 	w.ueShard = make([]uint8, n)
 	w.ueAttached = make([]bool, n)
 	w.ueQueued = make([]int64, n)
 	w.ueDelivered = make([]int64, n)
 	w.ueCQI = make([]uint8, n)
 	w.nbrAP = make([]int32, n*cfg.MaxNeighbors)
-	w.nbrRxMW = make([]float64, n*cfg.MaxNeighbors)
+	w.nbrRxMW = make([]float32, n*cfg.MaxNeighbors)
 	w.nbrLink = make([]uint64, n*cfg.MaxNeighbors)
 	w.nbrN = make([]uint16, n)
 	for u := 0; u < n; u++ {
@@ -449,7 +457,11 @@ func (w *World) rebuildRow(u int, sc *shardCtx) {
 		ap := geo.Point{X: w.apX[a], Y: w.apY[a]}
 		loss := w.model.LinkLossDB(ap, pos)
 		w.nbrAP[base+cnt] = a
-		w.nbrRxMW[base+cnt] = propagation.DBmToMW(w.Cfg.APPowerDBm - loss)
+		// exp(x·ln10/10) ≡ 10^(x/10) to ~1 ulp in float64 and is ~3x
+		// cheaper than math.Pow; the difference vanishes in the float32
+		// round, and the function is pure, so every enumeration mode and
+		// shard count sees the same row.
+		w.nbrRxMW[base+cnt] = float32(math.Exp((w.Cfg.APPowerDBm - loss) * (math.Ln10 / 10)))
 		w.nbrLink[base+cnt] = propagation.LinkID(int(a), w.Cfg.NAPs+u)
 		cnt++
 	}
@@ -471,13 +483,14 @@ func (w *World) rebuildRow(u int, sc *shardCtx) {
 	// Serving AP: strongest mean rx in the row (ascending, strict >,
 	// so ties keep the lowest index in both modes).
 	oldCell := w.ueCell[u]
-	best, bestRx := int32(-1), 0.0
+	best, bestRx, bestI := int32(-1), float32(0), 0
 	for i := 0; i < cnt; i++ {
 		if w.nbrRxMW[base+i] > bestRx {
-			best, bestRx = w.nbrAP[base+i], w.nbrRxMW[base+i]
+			best, bestRx, bestI = w.nbrAP[base+i], w.nbrRxMW[base+i], i
 		}
 	}
 	w.ueCell[u] = best
+	w.ueServI[u] = uint8(bestI)
 	if w.ueAttached[u] && oldCell != best {
 		sc.handovers++
 		if w.direct {
@@ -642,6 +655,12 @@ func (w *World) sweepPhase(s int) {
 		}
 		base := u * k
 		n := int(w.nbrN[u])
+		// One batch fade draw per row (the whole row shares the
+		// subchannel and coherence block); silenced APs get a gain too —
+		// unused, but draws are counter-hashed so computing them does
+		// not perturb any other draw.
+		gains := w.fade.AppendGainsLinear(sc.gains[:0], w.nbrLink[base:base+n], w.sc, tMS)
+		sc.gains = gains[:0]
 		var sig float64
 		den := w.noiseMW
 		if w.hasInc {
@@ -650,8 +669,7 @@ func (w *World) sweepPhase(s int) {
 				if w.apDownCnt[a] > 0 {
 					continue // incumbent-silenced: no signal, no interference
 				}
-				g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
-				p := w.nbrRxMW[base+i] * g
+				p := float64(w.nbrRxMW[base+i]) * gains[i]
 				if a == serving {
 					sig = p
 				} else {
@@ -659,23 +677,26 @@ func (w *World) sweepPhase(s int) {
 				}
 			}
 		} else {
-			for i := 0; i < n; i++ {
-				g := w.fade.GainLinear(w.nbrLink[base+i], w.sc, tMS)
-				p := w.nbrRxMW[base+i] * g
-				if w.nbrAP[base+i] == serving {
-					sig = p
-				} else {
-					den += p
-				}
+			// Branchless: sum the whole row, then peel the serving term
+			// off by its cached row index. The subtraction's rounding
+			// error is bounded by ~n ulps of the total — negligible next
+			// to the thermal noise floor already in den, and identical
+			// across enumeration modes and shard counts.
+			rx, g := w.nbrRxMW[base:base+n], gains[:n]
+			total := 0.0
+			for i := range rx {
+				total += float64(rx[i]) * g[i]
 			}
+			si := int(w.ueServI[u])
+			sig = float64(rx[si]) * g[si]
+			den += total - sig
 		}
 		if sig == 0 { // serving AP silenced by an incumbent
 			w.ueCQI[u] = 0
 			w.addSample(sc, 0)
 			continue
 		}
-		sinrDB := 10 * math.Log10(sig/den)
-		cqi := phy.LTECQIFromSINR(sinrDB)
+		cqi := phy.LTECQIFromLinearSINR(sig, den)
 		w.ueCQI[u] = uint8(cqi)
 		sc.cqiSum += int64(cqi)
 		rate := w.rateBps[cqi] / float64(w.apLoad[serving])

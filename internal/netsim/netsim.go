@@ -183,8 +183,11 @@ type Network struct {
 	rng       *rand.Rand
 
 	// Cached link budget: rxRB[i][c] is the per-RB power client c
-	// receives from cell i, before fading.
-	rxRB [][]float64
+	// receives from cell i, before fading; rxRBmw is the same table in
+	// milliwatts, feeding the linear-domain SINR kernel (the dB form
+	// stays for threshold scans like cellNearPos).
+	rxRB   [][]float64
+	rxRBmw [][]float64
 	// prachSNR[i][c]: SNR of client c's PRACH at cell i.
 	prachSNR [][]float64
 
@@ -345,14 +348,17 @@ func (n *Network) precomputeLinkBudget() {
 	prachTx := n.Cfg.ClientPowerDBm
 
 	n.rxRB = make([][]float64, len(n.Cells))
+	n.rxRBmw = make([][]float64, len(n.Cells))
 	n.prachSNR = make([][]float64, len(n.Cells))
 	for i, ap := range n.Cells {
 		n.rxRB[i] = make([]float64, len(n.Clients))
+		n.rxRBmw[i] = make([]float64, len(n.Clients))
 		n.prachSNR[i] = make([]float64, len(n.Clients))
 		for c, cl := range n.Clients {
 			loss := n.linkCache.LossDB(i, n.clientNode(c), ap, cl.Pos)
 			// Omnidirectional cells with 6 dBi gain both ways.
 			n.rxRB[i][c] = perRB + 6 - loss
+			n.rxRBmw[i][c] = propagation.DBmToMW(n.rxRB[i][c])
 			n.prachSNR[i][c] = prachTx + 6 - loss - noisePRACH
 		}
 	}
@@ -399,16 +405,20 @@ func (n *Network) activeClients(i int) []int {
 	return out
 }
 
-// sinrDB computes the downlink SINR of client c from its cell in
-// subchannel k during fading block b, given per-cell transmit masks.
-// scratch is the grid-query buffer — per-worker when the fluid sweep
-// runs sharded, so concurrent calls never share it.
-func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool, scratch *[]int32) float64 {
+// sinrParts computes the downlink SINR ingredients of client c from its
+// cell in subchannel k during fading block b, given per-cell transmit
+// masks: the received signal and the interference-plus-noise sum, both
+// in mW per RB. Everything stays in the linear domain — one fading
+// table probe per link, no per-interferer pow — and the pair feeds
+// phy.LTECQIFromLinearSINR directly on the CQI paths. scratch is the
+// grid-query buffer — per-worker when the fluid sweep runs sharded, so
+// concurrent calls never share it.
+func (n *Network) sinrParts(c, k int, b int64, txMask [][]bool, scratch *[]int32) (sig, den float64) {
 	cl := n.Clients[c]
 	i := cl.Cell
 	tMS := n.epoch*1000 + b*100
-	signal := n.rxRB[i][c] + n.fading.GainDB(propagation.LinkID(i, c), k, tMS)
-	den := propagation.DBmToMW(n.noiseRBDBm())
+	sig = n.rxRBmw[i][c] * n.fading.GainLinear(propagation.LinkID(i, c), k, tMS)
+	den = propagation.DBmToMW(n.noiseRBDBm())
 	if n.cellGrid != nil {
 		// Grid query returns ascending cell indices — the same order
 		// the scan below visits them — so the float sum is identical.
@@ -418,10 +428,9 @@ func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool, scratch *[]int32) f
 			if j == i || !txMask[j][k] {
 				continue
 			}
-			p := n.rxRB[j][c] + n.fading.GainDB(propagation.LinkID(j, c), k, tMS)
-			den += propagation.DBmToMW(p)
+			den += n.rxRBmw[j][c] * n.fading.GainLinear(propagation.LinkID(j, c), k, tMS)
 		}
-		return signal - propagation.MWToDBm(den)
+		return sig, den
 	}
 	for j := range n.Cells {
 		if j == i || !txMask[j][k] {
@@ -430,19 +439,18 @@ func (n *Network) sinrDB(c, k int, b int64, txMask [][]bool, scratch *[]int32) f
 		if n.truncate && !n.cellNearPos(j, cl.Pos) {
 			continue
 		}
-		p := n.rxRB[j][c] + n.fading.GainDB(propagation.LinkID(j, c), k, tMS)
-		den += propagation.DBmToMW(p)
+		den += n.rxRBmw[j][c] * n.fading.GainLinear(propagation.LinkID(j, c), k, tMS)
 	}
-	return signal - propagation.MWToDBm(den)
+	return sig, den
 }
 
-// cleanSINRdB is sinrDB with no interference — the reference the CQI
+// cleanParts is sinrParts with no interference — the reference the CQI
 // tracker's windowed max approximates.
-func (n *Network) cleanSINRdB(c, k int, b int64) float64 {
+func (n *Network) cleanParts(c, k int, b int64) (sig, den float64) {
 	cl := n.Clients[c]
 	tMS := n.epoch*1000 + b*100
-	signal := n.rxRB[cl.Cell][c] + n.fading.GainDB(propagation.LinkID(cl.Cell, c), k, tMS)
-	return signal - n.noiseRBDBm()
+	sig = n.rxRBmw[cl.Cell][c] * n.fading.GainLinear(propagation.LinkID(cl.Cell, c), k, tMS)
+	return sig, propagation.DBmToMW(n.noiseRBDBm())
 }
 
 // EpochResult summarizes one stepped epoch.
@@ -549,7 +557,7 @@ func (n *Network) serveCell(j int, active []int, txMask [][]bool, servedBits []i
 		for _, k := range n.allowed[j] {
 			var scRate float64
 			for b := int64(0); b < blocks; b++ {
-				cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask, scratch))
+				cqi := phy.LTECQIFromLinearSINR(n.sinrParts(c, k, b, txMask, scratch))
 				scRate += lte.SubchannelRateBps(n.Cfg.BW, n.Cfg.TDD, k, cqi)
 			}
 			rate += scRate / float64(blocks)
@@ -651,7 +659,7 @@ func (n *Network) updateControllers(prevTxMask [][]bool, prevActive, nowActive [
 					badFrac += 1 / nAct
 					cleanForAll[k] = false
 				}
-				cqi := phy.LTECQIFromSINR(n.sinrDB(c, k, lastBlock, prevTxMask, &n.cellScratch))
+				cqi := phy.LTECQIFromLinearSINR(n.sinrParts(c, k, lastBlock, prevTxMask, &n.cellScratch))
 				util += lte.SubchannelRateBps(n.Cfg.BW, n.Cfg.TDD, k, cqi) / nAct
 			}
 			in.Utility[k] = util
@@ -694,8 +702,8 @@ func (n *Network) updateControllers(prevTxMask [][]bool, prevActive, nowActive [
 // free reference (the 60% CQI drop of Section 6.3.2 maps to roughly a
 // CQI-level gap; we use the same fraction on CQI directly).
 func (n *Network) clientSeesInterference(c, k int, b int64, txMask [][]bool) bool {
-	withI := phy.LTECQIFromSINR(n.sinrDB(c, k, b, txMask, &n.cellScratch))
-	clean := phy.LTECQIFromSINR(n.cleanSINRdB(c, k, b))
+	withI := phy.LTECQIFromLinearSINR(n.sinrParts(c, k, b, txMask, &n.cellScratch))
+	clean := phy.LTECQIFromLinearSINR(n.cleanParts(c, k, b))
 	if clean == 0 {
 		return false
 	}

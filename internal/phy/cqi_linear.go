@@ -1,0 +1,57 @@
+package phy
+
+import "math"
+
+// lteCQILinearMin[i] is the smallest float64 ratio r for which
+// 10*math.Log10(r) >= lteCQITable[i].MinSINRdB. Comparing a linear
+// signal/denominator ratio against these thresholds therefore gives the
+// exact integer CQI the dB chain would — bit for bit, with no log10 per
+// report. The table is derived at init by a bit-level binary search over
+// the log-domain predicate itself (not pow(10, T/10), which can land one
+// ULP off), relying only on 10*Log10 being monotone over positive
+// float64s. TestLTECQILinearExhaustive and TestLTECQILinearThresholdULPs
+// prove the equivalence.
+var lteCQILinearMin [16]float64
+
+func init() {
+	lteCQILinearMin[0] = math.Inf(1) // CQI 0: out of range, never reached
+	for i := 1; i <= 15; i++ {
+		lteCQILinearMin[i] = minRatioForDB(lteCQITable[i].MinSINRdB)
+	}
+}
+
+// minRatioForDB returns the smallest positive float64 r satisfying
+// 10*math.Log10(r) >= db, by binary search over the ordered bit patterns
+// of positive float64s.
+func minRatioForDB(db float64) float64 {
+	lo := math.Float64bits(math.SmallestNonzeroFloat64)
+	hi := math.Float64bits(math.MaxFloat64)
+	if 10*math.Log10(math.Float64frombits(hi)) < db {
+		return math.Inf(1)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if 10*math.Log10(math.Float64frombits(mid)) >= db {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return math.Float64frombits(lo)
+}
+
+// LTECQIFromLinearSINR maps a linear-domain SINR, given as a signal
+// power and a positive interference-plus-noise denominator (any common
+// unit), to the same CQI LTECQIFromSINR(10*log10(sig/den)) returns —
+// without the log10. Degenerate inputs follow the dB chain too: a zero
+// or negative signal, or a NaN, yields CQI 0, and sig = +Inf (or den
+// +Inf with sig finite) matches the -Inf/+Inf dB behavior because the
+// division produces the identical ratio the log chain would see.
+func LTECQIFromLinearSINR(sig, den float64) int {
+	r := sig / den
+	best := 0
+	for best < 15 && r >= lteCQILinearMin[best+1] {
+		best++
+	}
+	return best
+}

@@ -213,3 +213,25 @@ func EffectiveSINRdB(sinrsDB []float64) float64 {
 	}
 	return 10 * math.Log10(-math.Log(avg))
 }
+
+// EffectiveSINRdBFromLinear is EffectiveSINRdB taking the per-subchannel
+// SINRs as linear ratios: EESM works in the linear domain natively, so
+// the ratio form drops the pow(10, s/10) per subchannel. Given
+// r = pow(10, s/10) it returns EffectiveSINRdB(s) up to that round
+// trip's rounding (EESM feeds a ~2 dB-wide CQI quantizer, so the last-
+// ulp wobble is immaterial — unlike the per-subband thresholds, which
+// stay exact via LTECQIFromLinearSINR).
+func EffectiveSINRdBFromLinear(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += math.Exp(-r)
+	}
+	avg := sum / float64(len(ratios))
+	if avg >= 1 {
+		return -30
+	}
+	return 10 * math.Log10(-math.Log(avg))
+}

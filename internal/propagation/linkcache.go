@@ -38,7 +38,12 @@ type LinkCache struct {
 }
 
 type linkEntry struct {
-	lossDB           float64
+	lossDB float64
+	// gainLin is 10^(-lossDB/10), filled lazily on the first
+	// PathGainLinear query of the entry (gainSet); loss-only users never
+	// pay the pow.
+	gainLin          float64
+	gainSet          bool
 	txEpoch, rxEpoch uint32
 }
 
@@ -82,6 +87,29 @@ func (c *LinkCache) LossDB(tx, rx int, txPos, rxPos geo.Point) float64 {
 	loss := c.model.LinkLossDB(txPos, rxPos)
 	c.entries[key] = linkEntry{lossDB: loss, txEpoch: te, rxEpoch: re}
 	return loss
+}
+
+// PathGainLinear returns the link's static path gain as a linear power
+// factor, 10^(-LossDB/10), memoized alongside the dB entry. Interferer
+// sums in milliwatts multiply this by the transmit power instead of
+// converting dBm per (interferer, receiver) pair — the pow runs once
+// per link per topology, not once per sum term.
+func (c *LinkCache) PathGainLinear(tx, rx int, txPos, rxPos geo.Point) float64 {
+	key := LinkID(tx, rx)
+	te, re := c.epoch(tx), c.epoch(rx)
+	ent, ok := c.entries[key]
+	if !ok || ent.txEpoch != te || ent.rxEpoch != re {
+		c.misses++
+		ent = linkEntry{lossDB: c.model.LinkLossDB(txPos, rxPos), txEpoch: te, rxEpoch: re}
+	} else {
+		c.hits++
+	}
+	if !ent.gainSet {
+		ent.gainLin = DBmToMW(-ent.lossDB) // 10^(-loss/10)
+		ent.gainSet = true
+		c.entries[key] = ent
+	}
+	return ent.gainLin
 }
 
 // Invalidate marks every cached link touching node stale in O(1); the

@@ -192,48 +192,6 @@ func angleDiff(a, b float64) float64 {
 	return d
 }
 
-// Fading generates deterministic block fast fading per (link, subchannel,
-// time block). Fades are exponential in power (Rayleigh envelope),
-// independent across subchannels (frequency-selective) and across
-// coherence blocks (time-selective).
-type Fading struct {
-	// Seed decorrelates trials.
-	Seed int64
-	// BlockMS is the coherence time in milliseconds (default 100 ms —
-	// nomadic outdoor clients).
-	BlockMS int64
-	// Disabled turns fading off (0 dB always).
-	Disabled bool
-}
-
-// NewFading returns a fading process with 100 ms coherence blocks.
-func NewFading(seed int64) *Fading { return &Fading{Seed: seed, BlockMS: 100} }
-
-// GainDB returns the fading gain in dB for the directed link linkID on
-// the given subchannel during the coherence block containing tMS
-// (milliseconds of simulation time). Mean power gain is 1 (0 dB average
-// in the linear domain).
-func (f *Fading) GainDB(linkID uint64, subchannel int, tMS int64) float64 {
-	if f == nil || f.Disabled {
-		return 0
-	}
-	return 10 * math.Log10(f.GainLinear(linkID, subchannel, tMS))
-}
-
-// GainLinear returns the same fade as GainDB as a linear power gain
-// (GainDB == 10*log10(GainLinear), bit-for-bit). Hot paths that work in
-// milliwatts use it to skip the log10/pow round trip per interferer.
-func (f *Fading) GainLinear(linkID uint64, subchannel int, tMS int64) float64 {
-	if f == nil || f.Disabled {
-		return 1
-	}
-	block := tMS / f.BlockMS
-	h := hash64(f.Seed, linkID, uint64(subchannel)+0x5bd1e995, uint64(block))
-	// Map the hash to (0,1], then to an Exponential(1) power gain.
-	u := (float64(h>>11) + 1) / (1 << 53)
-	return -math.Log(u) // mean-1 exponential power
-}
-
 // LinkID builds a stable directed link identifier from two node IDs.
 func LinkID(from, to int) uint64 {
 	return uint64(uint32(from))<<32 | uint64(uint32(to))

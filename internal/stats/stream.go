@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Streaming statistics for city-scale runs: a metric observed once per
@@ -29,11 +28,19 @@ const DefaultSketchAlpha = 0.01
 // QuantileSketch is a bounded-memory quantile estimator for
 // non-negative observations with relative value error at most alpha.
 // The zero value is not ready; use NewQuantileSketch.
+//
+// Bucket counts live in a dense slice rather than a map: the hot Add
+// path (once per UE per epoch in the metro sweep) becomes a log, an
+// index and an increment, with no hashing. Real metric streams occupy a
+// contiguous-ish index range, so the slice stays small; it grows (with
+// slack) only when a sample lands outside the covered range, which
+// makes steady-state Add allocation-free.
 type QuantileSketch struct {
 	gamma    float64 // bucket base: (1+alpha)/(1-alpha)
 	logGamma float64
-	buckets  map[int]int64 // bucket index -> count, values > 0
-	zeros    int64         // exact count of v == 0
+	lo       int     // bucket index of counts[0]
+	counts   []int64 // counts[i] holds bucket lo+i, values > 0
+	zeros    int64   // exact count of v == 0
 	count    int64
 }
 
@@ -47,7 +54,6 @@ func NewQuantileSketch(alpha float64) *QuantileSketch {
 	return &QuantileSketch{
 		gamma:    gamma,
 		logGamma: math.Log(gamma),
-		buckets:  make(map[int]int64),
 	}
 }
 
@@ -63,7 +69,35 @@ func (s *QuantileSketch) Add(v float64) {
 		s.zeros++
 		return
 	}
-	s.buckets[s.bucketOf(v)]++
+	i := s.bucketOf(v) - s.lo
+	if i >= 0 && i < len(s.counts) {
+		s.counts[i]++
+		return
+	}
+	s.bump(i + s.lo)
+}
+
+// bump increments bucket idx, growing the covered range with slack so
+// repeated out-of-range samples amortize to O(1).
+func (s *QuantileSketch) bump(idx int) {
+	const slack = 64
+	if len(s.counts) == 0 {
+		s.lo = idx - slack
+		s.counts = make([]int64, 2*slack+1)
+		s.counts[idx-s.lo]++
+		return
+	}
+	lo, hi := s.lo, s.lo+len(s.counts)-1 // inclusive covered range
+	if idx < lo {
+		lo = idx - slack
+	}
+	if idx > hi {
+		hi = idx + slack
+	}
+	grown := make([]int64, hi-lo+1)
+	copy(grown[s.lo-lo:], s.counts)
+	s.lo, s.counts = lo, grown
+	s.counts[idx-s.lo]++
 }
 
 // bucketOf maps a positive value to its log bucket: the smallest i with
@@ -99,27 +133,27 @@ func (s *QuantileSketch) Quantile(q float64) float64 {
 	if rank < s.zeros {
 		return 0
 	}
-	idxs := make([]int, 0, len(s.buckets))
-	for i := range s.buckets {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
 	seen := s.zeros
-	for _, i := range idxs {
-		seen += s.buckets[i]
+	last := s.lo
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		last = s.lo + i
+		seen += c
 		if seen > rank {
-			return s.valueOf(i)
+			return s.valueOf(last)
 		}
 	}
 	// Unreachable if counts are consistent; fall back to the top bucket.
-	return s.valueOf(idxs[len(idxs)-1])
+	return s.valueOf(last)
 }
 
-// Reset empties the sketch, retaining bucket-map capacity so a
+// Reset empties the sketch, retaining bucket capacity so a
 // reset-and-remerge cycle (the sharded metro fold) is allocation-free
 // in steady state.
 func (s *QuantileSketch) Reset() {
-	clear(s.buckets)
+	clear(s.counts)
 	s.zeros = 0
 	s.count = 0
 }
@@ -136,8 +170,16 @@ func (s *QuantileSketch) Merge(other *QuantileSketch) {
 	}
 	s.count += other.count
 	s.zeros += other.zeros
-	for i, c := range other.buckets {
-		s.buckets[i] += c
+	for i, c := range other.counts {
+		if c != 0 {
+			idx := other.lo + i - s.lo
+			if idx >= 0 && idx < len(s.counts) {
+				s.counts[idx] += c
+			} else {
+				s.bump(other.lo + i)
+				s.counts[other.lo+i-s.lo] += c - 1
+			}
+		}
 	}
 }
 

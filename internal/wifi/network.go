@@ -79,6 +79,10 @@ type Network struct {
 	noiseDBmC  float64
 	noiseMWC   float64
 
+	// Carrier-sense threshold memo in mW, for the linear busyAt scan;
+	// self-validating against the dBm param it was derived from.
+	csMWC, csForDBm float64
+
 	// Drops counts aggregates abandoned after the retry limit.
 	Drops int
 	// stats accumulates MAC-level counters.
@@ -168,6 +172,11 @@ type Node struct {
 	ID         int
 	Pos        geo.Point
 	TxPowerDBm float64
+
+	// txMW memoizes DBmToMW(TxPowerDBm) for the linear interference
+	// sums, self-validating against the dBm it was computed from (the
+	// field is public and may be reassigned mid-run).
+	txMW, txMWFor float64
 
 	net *Network
 	// idx is the node's dense registration index, the link-cache key
@@ -276,6 +285,17 @@ func (n *Network) rxPowerDBm(tx, rx *Node) float64 {
 	return tx.TxPowerDBm - n.cache.LossDB(tx.idx, rx.idx, tx.Pos, rx.Pos)
 }
 
+// rxPowerMW is rxPowerDBm in milliwatts, computed entirely in the
+// linear domain: the node's memoized transmit power times the cached
+// linear path gain. Interference sums use it so the per-term
+// dBm-to-mW pow disappears from the carrier-sense and decode paths.
+func (n *Network) rxPowerMW(tx, rx *Node) float64 {
+	if tx.txMW == 0 || tx.txMWFor != tx.TxPowerDBm {
+		tx.txMW, tx.txMWFor = propagation.DBmToMW(tx.TxPowerDBm), tx.TxPowerDBm
+	}
+	return tx.txMW * n.cache.PathGainLinear(tx.idx, rx.idx, tx.Pos, rx.Pos)
+}
+
 // LinkCacheStats exposes the link-gain cache counters for telemetry.
 func (n *Network) LinkCacheStats() propagation.CacheStats {
 	return n.cache.Stats()
@@ -363,6 +383,9 @@ func (n *Network) busyAt(node *Node) bool {
 	if now < node.navUntil {
 		return true
 	}
+	if n.csMWC == 0 || n.csForDBm != n.Params.CSThresholdDBm {
+		n.csMWC, n.csForDBm = propagation.DBmToMW(n.Params.CSThresholdDBm), n.Params.CSThresholdDBm
+	}
 	den := 0.0
 	for _, t := range n.active {
 		if t.from == node {
@@ -371,11 +394,13 @@ func (n *Network) busyAt(node *Node) bool {
 		if n.sigRadius > 0 && !n.withinSig(t.from, node) {
 			continue
 		}
-		p := n.rxPowerDBm(t.from, node)
-		if p >= n.Params.CSThresholdDBm {
+		// Linear-domain scan: the mW comparison decides exactly what the
+		// dB one did (dBm to mW is monotone), with no pow per frame.
+		p := n.rxPowerMW(t.from, node)
+		if p >= n.csMWC {
 			return true
 		}
-		den += propagation.DBmToMW(p)
+		den += p
 	}
 	return den > 0 && propagation.MWToDBm(den) >= n.Params.EnergyDetectDBm
 }
@@ -402,7 +427,7 @@ func (n *Network) sinrOf(t *transmission, rx *Node) float64 {
 		if n.sigRadius > 0 && !n.withinSig(from, rx) {
 			continue
 		}
-		den += propagation.DBmToMW(n.rxPowerDBm(from, rx))
+		den += n.rxPowerMW(from, rx)
 	}
 	return signal - propagation.MWToDBm(den)
 }

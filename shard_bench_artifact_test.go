@@ -1,12 +1,14 @@
 // BENCH_shard.json writer: regenerates the committed sharded-execution
 // baseline when SHARD_BENCH_OUT is set (see `make BENCH_shard.json`).
 // It drives the examples/metro city through the conservative shard
-// cluster at K in {1, 2, 4, 8} and records wall time, realtime factor,
-// UE-sweep throughput, per-shard utilization and barrier stall. Gates:
-// the lockstep barrier path must be 0 allocs/op in steady state, the
-// integer epoch telemetry must agree across shard counts, and — only on
-// a machine with >= 8 cores available — K=8 must be >= 3x faster than
-// K=1 (recorded but not enforced on smaller machines; see num_cpu).
+// cluster at K in {1, 2, 4, 8} — skipping counts above the machine's
+// usable cores, which would time oversubscription stall rather than
+// sharding (skipped_shard_counts records them) — and records wall time,
+// realtime factor, UE-sweep throughput, per-shard utilization and
+// barrier stall. Gates: the lockstep barrier path must be 0 allocs/op
+// in steady state, the integer epoch telemetry must agree across
+// measured shard counts, and — only on a machine with >= 8 cores
+// available — K=8 must be >= 3x faster than K=1.
 package cellfi_test
 
 import (
@@ -57,9 +59,17 @@ type shardBenchArtifact struct {
 	CityEpochs int `json:"city_epochs"`
 
 	Runs []shardRunResult `json:"runs"`
-	// SpeedupK8 is wall(K=1) / wall(K=8). SpeedupGateEnforced records
-	// whether the >= 3x floor applied on this machine (it needs >= 8
-	// cores; benchdiff.sh makes the same check before gating).
+	// SkippedShardCounts lists the K values not measured because the
+	// machine has fewer cores than shards: timing K=8 on a 1-core box
+	// measures barrier stall, not parallel speedup (an earlier committed
+	// artifact showed K=8 slower than K=2 with 20 s of stall — pure
+	// oversubscription noise). benchdiff.sh ignores wall-time rows for
+	// skipped counts.
+	SkippedShardCounts []int `json:"skipped_shard_counts,omitempty"`
+	// SpeedupK8 is wall(K=1) / wall(K=8); zero when K=8 was skipped.
+	// SpeedupGateEnforced records whether the >= 3x floor applied on
+	// this machine (it needs >= 8 cores; benchdiff.sh makes the same
+	// check before gating).
 	SpeedupK8           float64 `json:"speedup_k8"`
 	SpeedupGateEnforced bool    `json:"speedup_gate_enforced"`
 
@@ -154,19 +164,36 @@ func TestShardBenchArtifact(t *testing.T) {
 		GoVersion:  runtime.Version(),
 		Description: fmt.Sprintf("Sharded-execution baseline: the examples/metro city "+
 			"(%d APs, %d UEs, %d epochs) run on the conservative shard cluster at "+
-			"K in {1, 2, 4, 8}. speedup_k8 is wall(K=1)/wall(K=8), gated at >= 3x only "+
-			"when the machine has >= 8 cores (speedup_gate_enforced records whether it "+
-			"applied); window_barrier must stay 0 allocs/op; attached_mean must be "+
-			"identical at every K (the cross-shard determinism contract).",
+			"K in {1, 2, 4, 8}, skipping counts above the machine's usable cores "+
+			"(skipped_shard_counts). speedup_k8 is wall(K=1)/wall(K=8), gated at >= 3x "+
+			"only when the machine has >= 8 cores (speedup_gate_enforced records whether "+
+			"it applied); window_barrier must stay 0 allocs/op; attached_mean must be "+
+			"identical at every measured K (the cross-shard determinism contract).",
 			cfg.NAPs, cfg.NUEs, epochs),
 		CityAPs:    cfg.NAPs,
 		CityUEs:    cfg.NUEs,
 		CityEpochs: epochs,
 	}
 
+	cores := art.NumCPU
+	if art.GoMaxProcs < cores {
+		cores = art.GoMaxProcs
+	}
+	var wallK8 float64
 	for _, k := range []int{1, 2, 4, 8} {
+		if k > cores && k > 1 {
+			// Oversubscribed: the wall time would measure barrier stall
+			// on a shared core, not sharded execution. Record the skip
+			// so benchdiff.sh knows the row is absent by design.
+			art.SkippedShardCounts = append(art.SkippedShardCounts, k)
+			t.Logf("K=%d: skipped (machine has %d usable cores)", k, cores)
+			continue
+		}
 		res := runShardCity(cfg, epochs, k)
 		art.Runs = append(art.Runs, res)
+		if k == 8 {
+			wallK8 = res.WallMS
+		}
 		t.Logf("K=%d: %.0f ms, %.1fx real time, %.2g UE-sweeps/s",
 			k, res.WallMS, res.SimRealtimeFactor, res.UESweepsPerSec)
 	}
@@ -176,8 +203,8 @@ func TestShardBenchArtifact(t *testing.T) {
 				res.Shards, res.AttachedMean, art.Runs[0].AttachedMean)
 		}
 	}
-	if art.Runs[3].WallMS > 0 {
-		art.SpeedupK8 = art.Runs[0].WallMS / art.Runs[3].WallMS
+	if wallK8 > 0 {
+		art.SpeedupK8 = art.Runs[0].WallMS / wallK8
 	}
 	art.SpeedupGateEnforced = art.NumCPU >= 8 && art.GoMaxProcs >= 8
 	if art.SpeedupGateEnforced && art.SpeedupK8 < 3 {
